@@ -1,0 +1,378 @@
+//! Normalized arbitrary-precision rationals.
+
+use crate::bigint::{BigInt, ParseBigIntError};
+use std::cmp::Ordering;
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+use std::str::FromStr;
+
+/// An exact rational number `num / den`.
+///
+/// Invariants: `den > 0` and `gcd(num, den) == 1` (with `0` represented
+/// as `0/1`), so derived equality and hashing are value-based.
+///
+/// ```
+/// use linarb_arith::{BigInt, BigRational};
+/// let half = BigRational::new(BigInt::from(2), BigInt::from(4));
+/// let third = BigRational::new(BigInt::from(1), BigInt::from(3));
+/// assert_eq!((&half + &third).to_string(), "5/6");
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BigRational {
+    num: BigInt,
+    den: BigInt,
+}
+
+/// Error returned when parsing a [`BigRational`] fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseBigRationalError;
+
+impl fmt::Display for ParseBigRationalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid rational literal")
+    }
+}
+
+impl std::error::Error for ParseBigRationalError {}
+
+impl From<ParseBigIntError> for ParseBigRationalError {
+    fn from(_: ParseBigIntError) -> Self {
+        ParseBigRationalError
+    }
+}
+
+impl BigRational {
+    /// Creates `num / den` in lowest terms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den == 0`.
+    pub fn new(num: BigInt, den: BigInt) -> BigRational {
+        assert!(!den.is_zero(), "rational with zero denominator");
+        let (num, den) = if den.is_negative() { (-num, -den) } else { (num, den) };
+        if num.is_zero() {
+            return BigRational { num, den: BigInt::one() };
+        }
+        let g = BigInt::gcd(&num, &den);
+        BigRational { num: &num / &g, den: &den / &g }
+    }
+
+    /// The rational `0`.
+    pub fn zero() -> BigRational {
+        BigRational { num: BigInt::zero(), den: BigInt::one() }
+    }
+
+    /// The rational `1`.
+    pub fn one() -> BigRational {
+        BigRational { num: BigInt::one(), den: BigInt::one() }
+    }
+
+    /// Numerator (sign-carrying).
+    pub fn numer(&self) -> &BigInt {
+        &self.num
+    }
+
+    /// Denominator (always positive).
+    pub fn denom(&self) -> &BigInt {
+        &self.den
+    }
+
+    /// Returns `true` if the value is `0`.
+    pub fn is_zero(&self) -> bool {
+        self.num.is_zero()
+    }
+
+    /// Returns `true` if the value is a whole number.
+    pub fn is_integer(&self) -> bool {
+        self.den.is_one()
+    }
+
+    /// Returns `true` if the value is `> 0`.
+    pub fn is_positive(&self) -> bool {
+        self.num.is_positive()
+    }
+
+    /// Returns `true` if the value is `< 0`.
+    pub fn is_negative(&self) -> bool {
+        self.num.is_negative()
+    }
+
+    /// Sign of the value: `-1`, `0` or `1`.
+    pub fn signum(&self) -> i8 {
+        self.num.signum()
+    }
+
+    /// Absolute value.
+    pub fn abs(&self) -> BigRational {
+        BigRational { num: self.num.abs(), den: self.den.clone() }
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is `0`.
+    pub fn recip(&self) -> BigRational {
+        assert!(!self.is_zero(), "reciprocal of zero");
+        BigRational::new(self.den.clone(), self.num.clone())
+    }
+
+    /// Largest integer `<= self`.
+    pub fn floor(&self) -> BigInt {
+        self.num.div_mod_floor(&self.den).0
+    }
+
+    /// Smallest integer `>= self`.
+    pub fn ceil(&self) -> BigInt {
+        -(-self).floor()
+    }
+
+    /// Fractional part `self - floor(self)`, in `[0, 1)`.
+    pub fn fract(&self) -> BigRational {
+        self - &BigRational::from(self.floor())
+    }
+
+    /// Lossy conversion to `f64`.
+    pub fn to_f64(&self) -> f64 {
+        // Scale into f64 range by truncating both sides equally if huge.
+        let n = self.num.to_f64();
+        let d = self.den.to_f64();
+        n / d
+    }
+}
+
+impl Default for BigRational {
+    fn default() -> Self {
+        BigRational::zero()
+    }
+}
+
+impl From<BigInt> for BigRational {
+    fn from(v: BigInt) -> BigRational {
+        BigRational { num: v, den: BigInt::one() }
+    }
+}
+
+impl From<&BigInt> for BigRational {
+    fn from(v: &BigInt) -> BigRational {
+        BigRational { num: v.clone(), den: BigInt::one() }
+    }
+}
+
+impl From<i64> for BigRational {
+    fn from(v: i64) -> BigRational {
+        BigRational::from(BigInt::from(v))
+    }
+}
+
+impl PartialOrd for BigRational {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for BigRational {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (&self.num * &other.den).cmp(&(&other.num * &self.den))
+    }
+}
+
+impl fmt::Display for BigRational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_integer() {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+impl fmt::Debug for BigRational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl FromStr for BigRational {
+    type Err = ParseBigRationalError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.split_once('/') {
+            Some((n, d)) => {
+                let num: BigInt = n.trim().parse()?;
+                let den: BigInt = d.trim().parse()?;
+                if den.is_zero() {
+                    return Err(ParseBigRationalError);
+                }
+                Ok(BigRational::new(num, den))
+            }
+            None => Ok(BigRational::from(s.trim().parse::<BigInt>()?)),
+        }
+    }
+}
+
+impl Neg for BigRational {
+    type Output = BigRational;
+    fn neg(self) -> BigRational {
+        BigRational { num: -self.num, den: self.den }
+    }
+}
+
+impl Neg for &BigRational {
+    type Output = BigRational;
+    fn neg(self) -> BigRational {
+        BigRational { num: -&self.num, den: self.den.clone() }
+    }
+}
+
+impl Add for &BigRational {
+    type Output = BigRational;
+    fn add(self, rhs: &BigRational) -> BigRational {
+        BigRational::new(
+            &(&self.num * &rhs.den) + &(&rhs.num * &self.den),
+            &self.den * &rhs.den,
+        )
+    }
+}
+
+impl Sub for &BigRational {
+    type Output = BigRational;
+    fn sub(self, rhs: &BigRational) -> BigRational {
+        self + &(-rhs)
+    }
+}
+
+impl Mul for &BigRational {
+    type Output = BigRational;
+    fn mul(self, rhs: &BigRational) -> BigRational {
+        BigRational::new(&self.num * &rhs.num, &self.den * &rhs.den)
+    }
+}
+
+impl Div for &BigRational {
+    type Output = BigRational;
+    fn div(self, rhs: &BigRational) -> BigRational {
+        assert!(!rhs.is_zero(), "rational division by zero");
+        BigRational::new(&self.num * &rhs.den, &self.den * &rhs.num)
+    }
+}
+
+macro_rules! forward_owned_binop_rat {
+    ($trait:ident, $method:ident) => {
+        impl $trait for BigRational {
+            type Output = BigRational;
+            fn $method(self, rhs: BigRational) -> BigRational {
+                (&self).$method(&rhs)
+            }
+        }
+        impl $trait<&BigRational> for BigRational {
+            type Output = BigRational;
+            fn $method(self, rhs: &BigRational) -> BigRational {
+                (&self).$method(rhs)
+            }
+        }
+        impl $trait<BigRational> for &BigRational {
+            type Output = BigRational;
+            fn $method(self, rhs: BigRational) -> BigRational {
+                self.$method(&rhs)
+            }
+        }
+    };
+}
+
+forward_owned_binop_rat!(Add, add);
+forward_owned_binop_rat!(Sub, sub);
+forward_owned_binop_rat!(Mul, mul);
+forward_owned_binop_rat!(Div, div);
+
+impl AddAssign<&BigRational> for BigRational {
+    fn add_assign(&mut self, rhs: &BigRational) {
+        *self = &*self + rhs;
+    }
+}
+
+impl SubAssign<&BigRational> for BigRational {
+    fn sub_assign(&mut self, rhs: &BigRational) {
+        *self = &*self - rhs;
+    }
+}
+
+impl MulAssign<&BigRational> for BigRational {
+    fn mul_assign(&mut self, rhs: &BigRational) {
+        *self = &*self * rhs;
+    }
+}
+
+impl Sum for BigRational {
+    fn sum<I: Iterator<Item = BigRational>>(iter: I) -> BigRational {
+        iter.fold(BigRational::zero(), |a, b| &a + &b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rat;
+
+    #[test]
+    fn normalization() {
+        assert_eq!(rat(2, 4), rat(1, 2));
+        assert_eq!(rat(-2, -4), rat(1, 2));
+        assert_eq!(rat(2, -4).to_string(), "-1/2");
+        assert_eq!(rat(0, -7), BigRational::zero());
+        assert_eq!(rat(0, -7).denom(), &BigInt::one());
+    }
+
+    #[test]
+    #[should_panic(expected = "zero denominator")]
+    fn zero_denominator_panics() {
+        let _ = rat(1, 0);
+    }
+
+    #[test]
+    fn field_ops() {
+        assert_eq!(&rat(1, 2) + &rat(1, 3), rat(5, 6));
+        assert_eq!(&rat(1, 2) - &rat(1, 3), rat(1, 6));
+        assert_eq!(&rat(2, 3) * &rat(3, 4), rat(1, 2));
+        assert_eq!(&rat(2, 3) / &rat(4, 3), rat(1, 2));
+        assert_eq!(rat(3, 7).recip(), rat(7, 3));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(rat(1, 3) < rat(1, 2));
+        assert!(rat(-1, 2) < rat(-1, 3));
+        assert!(rat(-1, 2) < rat(1, 1000));
+        assert_eq!(rat(4, 2).cmp(&rat(2, 1)), Ordering::Equal);
+    }
+
+    #[test]
+    fn floor_ceil_fract() {
+        assert_eq!(rat(7, 2).floor(), BigInt::from(3));
+        assert_eq!(rat(7, 2).ceil(), BigInt::from(4));
+        assert_eq!(rat(-7, 2).floor(), BigInt::from(-4));
+        assert_eq!(rat(-7, 2).ceil(), BigInt::from(-3));
+        assert_eq!(rat(6, 2).floor(), BigInt::from(3));
+        assert_eq!(rat(6, 2).ceil(), BigInt::from(3));
+        assert_eq!(rat(-7, 2).fract(), rat(1, 2));
+        assert_eq!(rat(5, 1).fract(), BigRational::zero());
+    }
+
+    #[test]
+    fn parse_display_roundtrip() {
+        for s in ["0", "5", "-5", "1/2", "-22/7"] {
+            let v: BigRational = s.parse().unwrap();
+            assert_eq!(v.to_string(), s);
+        }
+        assert_eq!("4/8".parse::<BigRational>().unwrap().to_string(), "1/2");
+        assert!("1/0".parse::<BigRational>().is_err());
+        assert!("a/2".parse::<BigRational>().is_err());
+    }
+
+    #[test]
+    fn to_f64_approx() {
+        assert!((rat(1, 3).to_f64() - 1.0 / 3.0).abs() < 1e-12);
+        assert!((rat(-7, 2).to_f64() + 3.5).abs() < 1e-12);
+    }
+}

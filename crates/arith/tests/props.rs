@@ -1,0 +1,120 @@
+//! Property-based tests: BigInt/BigRational agree with i128 reference
+//! semantics and satisfy ring/field/order laws.
+
+use linarb_arith::{BigInt, BigRational};
+use proptest::prelude::*;
+
+fn big(v: i128) -> BigInt {
+    BigInt::from(v)
+}
+
+proptest! {
+    #[test]
+    fn add_matches_i128(a in -1_000_000_000_000i128..1_000_000_000_000, b in -1_000_000_000_000i128..1_000_000_000_000) {
+        prop_assert_eq!(&big(a) + &big(b), big(a + b));
+    }
+
+    #[test]
+    fn mul_matches_i128(a in -1_000_000_000i128..1_000_000_000, b in -1_000_000_000i128..1_000_000_000) {
+        prop_assert_eq!(&big(a) * &big(b), big(a * b));
+    }
+
+    #[test]
+    fn div_rem_matches_i128(a in any::<i64>(), b in any::<i64>()) {
+        prop_assume!(b != 0);
+        let (q, r) = big(a as i128).div_rem(&big(b as i128));
+        prop_assert_eq!(q, big((a as i128) / (b as i128)));
+        prop_assert_eq!(r, big((a as i128) % (b as i128)));
+    }
+
+    #[test]
+    fn div_rem_reconstructs(a in any::<i128>(), b in any::<i128>()) {
+        prop_assume!(b != 0);
+        let (q, r) = big(a).div_rem(&big(b));
+        prop_assert_eq!(&(&q * &big(b)) + &r, big(a));
+        prop_assert!(r.abs() < big(b).abs());
+    }
+
+    #[test]
+    fn floor_mod_in_range(a in any::<i64>(), b in 1i64..1_000_000) {
+        let m = big(a as i128).mod_floor(&big(b as i128));
+        prop_assert!(!m.is_negative());
+        prop_assert!(m < big(b as i128));
+        let (q, r) = big(a as i128).div_mod_floor(&big(b as i128));
+        prop_assert_eq!(&(&q * &big(b as i128)) + &r, big(a as i128));
+    }
+
+    #[test]
+    fn ordering_matches_i128(a in any::<i128>(), b in any::<i128>()) {
+        prop_assert_eq!(big(a).cmp(&big(b)), a.cmp(&b));
+    }
+
+    #[test]
+    fn parse_display_roundtrip(a in any::<i128>()) {
+        let v = big(a);
+        let back: BigInt = v.to_string().parse().unwrap();
+        prop_assert_eq!(back, v);
+    }
+
+    #[test]
+    fn gcd_divides_both(a in any::<i64>(), b in any::<i64>()) {
+        let g = BigInt::gcd(&big(a as i128), &big(b as i128));
+        if a != 0 || b != 0 {
+            prop_assert!(!g.is_zero());
+            prop_assert!(big(a as i128).div_rem(&g).1.is_zero());
+            prop_assert!(big(b as i128).div_rem(&g).1.is_zero());
+        } else {
+            prop_assert!(g.is_zero());
+        }
+    }
+
+    #[test]
+    fn large_mul_div_roundtrip(a in any::<i128>(), b in any::<i128>()) {
+        prop_assume!(a != 0);
+        let prod = &big(a) * &big(b);
+        let (q, r) = prod.div_rem(&big(a));
+        prop_assert_eq!(q, big(b));
+        prop_assert!(r.is_zero());
+    }
+
+    #[test]
+    fn rational_field_laws(an in -10_000i64..10_000, ad in 1i64..100,
+                           bn in -10_000i64..10_000, bd in 1i64..100,
+                           cn in -10_000i64..10_000, cd in 1i64..100) {
+        let a = BigRational::new(BigInt::from(an), BigInt::from(ad));
+        let b = BigRational::new(BigInt::from(bn), BigInt::from(bd));
+        let c = BigRational::new(BigInt::from(cn), BigInt::from(cd));
+        // commutativity / associativity / distributivity
+        prop_assert_eq!(&a + &b, &b + &a);
+        prop_assert_eq!(&(&a + &b) + &c, &a + &(&b + &c));
+        prop_assert_eq!(&a * &b, &b * &a);
+        prop_assert_eq!(&(&a * &b) * &c, &a * &(&b * &c));
+        prop_assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+        // inverses
+        prop_assert_eq!(&a - &a, BigRational::zero());
+        if !b.is_zero() {
+            prop_assert_eq!(&(&a / &b) * &b, a.clone());
+        }
+    }
+
+    #[test]
+    fn rational_order_total(an in -1000i64..1000, ad in 1i64..50,
+                            bn in -1000i64..1000, bd in 1i64..50) {
+        let a = BigRational::new(BigInt::from(an), BigInt::from(ad));
+        let b = BigRational::new(BigInt::from(bn), BigInt::from(bd));
+        let lhs = (an as i128) * (bd as i128);
+        let rhs = (bn as i128) * (ad as i128);
+        prop_assert_eq!(a.cmp(&b), lhs.cmp(&rhs));
+    }
+
+    #[test]
+    fn rational_floor_ceil(an in -100_000i64..100_000, ad in 1i64..1000) {
+        let a = BigRational::new(BigInt::from(an), BigInt::from(ad));
+        let fl = a.floor();
+        let ce = a.ceil();
+        prop_assert!(BigRational::from(fl.clone()) <= a);
+        prop_assert!(a <= BigRational::from(ce.clone()));
+        let diff = &ce - &fl;
+        prop_assert!(diff == BigInt::zero() || diff == BigInt::one());
+    }
+}

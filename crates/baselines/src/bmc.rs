@@ -1,0 +1,175 @@
+//! Bounded model checking over CHC systems.
+//!
+//! Unrolls derivations up to a bounded height and checks whether any
+//! query clause can be violated by a bounded derivation. Sound for
+//! refutation (every violation found is real); inconclusive for
+//! safety.
+
+use crate::util::{instantiate_clause, FreshVars};
+use linarb_logic::{ChcSystem, Formula, LinExpr, Model, PredId};
+use linarb_smt::{check_sat, Budget, SmtResult};
+
+/// Result of a bounded check.
+#[derive(Debug)]
+pub enum BmcResult {
+    /// A goal clause is violated by a derivation of height ≤ `depth`.
+    Violation {
+        /// The unrolling depth at which the violation appeared.
+        depth: usize,
+        /// The satisfying assignment of the unrolled formula.
+        model: Model,
+    },
+    /// No violation exists within the bound.
+    SafeUpTo(usize),
+    /// Budget exhausted or a check came back unknown.
+    Unknown,
+}
+
+impl BmcResult {
+    /// `true` for [`BmcResult::Violation`].
+    pub fn is_violation(&self) -> bool {
+        matches!(self, BmcResult::Violation { .. })
+    }
+}
+
+/// Builds the under-approximation of `pred` for derivations of height
+/// ≤ `depth`, instantiated so that its free interface is `args`.
+fn unroll(
+    sys: &ChcSystem,
+    pred: PredId,
+    args: &[LinExpr],
+    depth: usize,
+    fresh: &mut FreshVars,
+    nodes: &mut usize,
+) -> Formula {
+    if depth == 0 || *nodes > 200_000 {
+        return Formula::False;
+    }
+    *nodes += 1;
+    let mut disjuncts = Vec::new();
+    for clause in sys.clauses() {
+        let happ = match &clause.head {
+            linarb_logic::ClauseHead::Pred(a) if a.pred == pred => a,
+            _ => continue,
+        };
+        let _ = happ;
+        let inst = instantiate_clause(clause, fresh);
+        let mut conj = vec![inst.constraint.clone()];
+        // interface: head args equal the requested args
+        for (ha, a) in inst.head_args.iter().zip(args.iter()) {
+            conj.push(linarb_logic::Atom::eq_expr(ha.clone(), a.clone()));
+        }
+        for app in &inst.body {
+            conj.push(unroll(sys, app.pred, &app.args, depth - 1, fresh, nodes));
+        }
+        disjuncts.push(Formula::and(conj));
+    }
+    Formula::or(disjuncts)
+}
+
+/// Checks all query clauses for violations by derivations of height ≤
+/// `max_depth`, by iterative deepening.
+pub fn bmc(sys: &ChcSystem, max_depth: usize, budget: &Budget) -> BmcResult {
+    for depth in 0..=max_depth {
+        if budget.exhausted() {
+            return BmcResult::Unknown;
+        }
+        for clause in sys.clauses() {
+            if !clause.is_query() {
+                continue;
+            }
+            let mut fresh = FreshVars::for_system(sys);
+            let mut nodes = 0usize;
+            let inst = instantiate_clause(clause, &mut fresh);
+            let mut conj = vec![inst.constraint.clone()];
+            for app in &inst.body {
+                conj.push(unroll(sys, app.pred, &app.args, depth, &mut fresh, &mut nodes));
+            }
+            conj.push(Formula::not(inst.goal.clone().expect("query clause")));
+            let f = Formula::and(conj);
+            match check_sat(&f, budget) {
+                SmtResult::Sat(model) => return BmcResult::Violation { depth, model },
+                SmtResult::Unsat => {}
+                SmtResult::Unknown => return BmcResult::Unknown,
+            }
+        }
+    }
+    BmcResult::SafeUpTo(max_depth)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use linarb_logic::parse_chc;
+
+    const SAFE: &str = r#"
+        (declare-fun p (Int Int) Bool)
+        (assert (forall ((x Int) (y Int))
+            (=> (and (= x 1) (= y 0)) (p x y))))
+        (assert (forall ((x Int) (y Int) (x1 Int) (y1 Int))
+            (=> (and (p x y) (= x1 (+ x y)) (= y1 (+ y 1))) (p x1 y1))))
+        (assert (forall ((x Int) (y Int))
+            (=> (p x y) (>= x 1))))
+    "#;
+
+    #[test]
+    fn safe_within_bound() {
+        let sys = parse_chc(SAFE).unwrap();
+        match bmc(&sys, 4, &Budget::unlimited()) {
+            BmcResult::SafeUpTo(4) => {}
+            other => panic!("expected safe, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn violation_found_at_right_depth() {
+        // property x >= 2 fails at the very first derivation (x = 1)
+        let text = SAFE.replace("(>= x 1)", "(>= x 2)");
+        let sys = parse_chc(&text).unwrap();
+        match bmc(&sys, 4, &Budget::unlimited()) {
+            BmcResult::Violation { depth, .. } => assert_eq!(depth, 1),
+            other => panic!("expected violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn deeper_violation_needs_deeper_bound() {
+        // x grows by 1 from 0; x <= 2 fails after 3 steps
+        let text = r#"
+            (declare-fun p (Int) Bool)
+            (assert (forall ((x Int)) (=> (= x 0) (p x))))
+            (assert (forall ((x Int) (x1 Int))
+                (=> (and (p x) (= x1 (+ x 1))) (p x1))))
+            (assert (forall ((x Int)) (=> (p x) (<= x 2))))
+        "#;
+        let sys = parse_chc(text).unwrap();
+        assert!(!bmc(&sys, 3, &Budget::unlimited()).is_violation());
+        match bmc(&sys, 5, &Budget::unlimited()) {
+            BmcResult::Violation { depth, .. } => assert_eq!(depth, 4),
+            other => panic!("expected violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nonlinear_unrolling_fibo() {
+        // fibo with the FALSE claim y >= x for x > 1; fails at x=2
+        // which needs a derivation of height 3.
+        let text = r#"
+            (declare-fun p (Int Int) Bool)
+            (assert (forall ((x Int) (y Int))
+                (=> (and (< x 1) (= y 0)) (p x y))))
+            (assert (forall ((x Int) (y Int))
+                (=> (and (= x 1) (= y 1)) (p x y))))
+            (assert (forall ((x Int) (y Int) (y1 Int) (y2 Int))
+                (=> (and (> x 1) (p (- x 1) y1) (p (- x 2) y2) (= y (+ y1 y2)))
+                    (p x y))))
+            (assert (forall ((x Int) (y Int))
+                (=> (and (p x y) (> x 1)) (>= y x))))
+        "#;
+        let sys = parse_chc(text).unwrap();
+        match bmc(&sys, 4, &Budget::unlimited()) {
+            BmcResult::Violation { .. } => {}
+            other => panic!("expected violation, got {other:?}"),
+        }
+    }
+}

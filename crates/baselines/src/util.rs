@@ -1,0 +1,89 @@
+//! Shared helpers: fresh-variable supplies and clause instantiation.
+
+use linarb_logic::{ChcSystem, Clause, Formula, LinExpr, PredApp, Var};
+use std::collections::HashMap;
+
+/// Hands out variables guaranteed fresh w.r.t. a system.
+#[derive(Debug)]
+pub struct FreshVars {
+    next: u32,
+}
+
+impl FreshVars {
+    /// A supply starting above every variable of `sys`.
+    pub fn for_system(sys: &ChcSystem) -> FreshVars {
+        FreshVars { next: sys.num_vars() as u32 }
+    }
+
+    /// The next fresh variable.
+    pub fn fresh(&mut self) -> Var {
+        let v = Var::from_index(self.next);
+        self.next += 1;
+        v
+    }
+}
+
+/// A clause instance with all variables renamed fresh.
+#[derive(Debug, Clone)]
+pub struct ClauseInstance {
+    /// Renamed constraint.
+    pub constraint: Formula,
+    /// Renamed body applications.
+    pub body: Vec<PredApp>,
+    /// Renamed head arguments (empty for goal heads).
+    pub head_args: Vec<LinExpr>,
+    /// Renamed goal formula (for query clauses).
+    pub goal: Option<Formula>,
+}
+
+/// Renames every variable of `clause` through a fresh supply.
+pub fn instantiate_clause(clause: &Clause, fresh: &mut FreshVars) -> ClauseInstance {
+    let map: HashMap<Var, Var> = clause
+        .vars()
+        .into_iter()
+        .map(|v| (v, fresh.fresh()))
+        .collect();
+    let exprs: HashMap<Var, LinExpr> =
+        map.iter().map(|(k, v)| (*k, LinExpr::var(*v))).collect();
+    let constraint = clause.constraint.subst(&exprs);
+    let body = clause
+        .body_preds
+        .iter()
+        .map(|app| PredApp::new(app.pred, app.args.iter().map(|a| a.subst(&exprs)).collect()))
+        .collect();
+    let (head_args, goal) = match &clause.head {
+        linarb_logic::ClauseHead::Pred(app) => (
+            app.args.iter().map(|a| a.subst(&exprs)).collect(),
+            None,
+        ),
+        linarb_logic::ClauseHead::Goal(g) => (Vec::new(), Some(g.subst(&exprs))),
+    };
+    ClauseInstance { constraint, body, head_args, goal }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use linarb_arith::int;
+    use linarb_logic::{Atom, ChcSystem};
+
+    #[test]
+    fn instances_are_variable_disjoint() {
+        let mut sys = ChcSystem::new();
+        let p = sys.declare_pred("p", 1);
+        let x = sys.fresh_var("x");
+        sys.rule(
+            vec![PredApp::new(p, vec![LinExpr::var(x)])],
+            Formula::from(Atom::ge(LinExpr::var(x), LinExpr::constant(int(0)))),
+            p,
+            vec![&LinExpr::var(x) + &LinExpr::constant(int(1))],
+        );
+        let mut fresh = FreshVars::for_system(&sys);
+        let i1 = instantiate_clause(&sys.clauses()[0], &mut fresh);
+        let i2 = instantiate_clause(&sys.clauses()[0], &mut fresh);
+        let v1: std::collections::HashSet<Var> = i1.constraint.vars();
+        let v2: std::collections::HashSet<Var> = i2.constraint.vars();
+        assert!(v1.is_disjoint(&v2));
+        assert!(!v1.contains(&x));
+    }
+}

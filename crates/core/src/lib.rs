@@ -1,0 +1,916 @@
+//! The data-driven CHC solver (the paper's Algorithm 3).
+//!
+//! [`CegarSolver`] decides satisfiability of a [`ChcSystem`] by a
+//! counterexample-guided loop:
+//!
+//! 1. Start from the weakest interpretation (`true` for every unknown
+//!    predicate).
+//! 2. While some clause `φ ∧ p₁(T̄₁) ∧ … ∧ pₖ(T̄ₖ) → h` is invalid
+//!    under the current interpretation, obtain a countermodel from the
+//!    SMT oracle and convert it into **samples** of each predicate.
+//! 3. If every body sample is already a known positive, the head
+//!    sample is *derivable*: weaken the head (new positive sample,
+//!    negatives cleared, interpretation reset to `true`) — or, if the
+//!    head is a known goal, report **unsat** with the derivation tree.
+//! 4. Otherwise strengthen the body: unknown body samples become
+//!    tentative negatives and the affected predicates are re-learned
+//!    with the machine-learning toolchain (`linarb-ml`).
+//!
+//! Positive samples are always justified by a derivation (the paper's
+//! implicit unwinding), so unsat verdicts come with a concrete,
+//! replayable counterexample.
+//!
+//! # Examples
+//!
+//! Solving the paper's Fig. 1 system:
+//!
+//! ```
+//! use linarb_logic::parse_chc;
+//! use linarb_smt::Budget;
+//! use linarb_solver::{CegarSolver, SolveResult, SolverConfig};
+//!
+//! let sys = parse_chc(r#"
+//!     (declare-fun p (Int Int) Bool)
+//!     (assert (forall ((x Int) (y Int))
+//!         (=> (and (= x 1) (= y 0)) (p x y))))
+//!     (assert (forall ((x Int) (y Int) (x1 Int) (y1 Int))
+//!         (=> (and (p x y) (= x1 (+ x y)) (= y1 (+ y 1))) (p x1 y1))))
+//!     (assert (forall ((x Int) (y Int) (x1 Int) (y1 Int))
+//!         (=> (and (p x y) (= x1 (+ x y)) (= y1 (+ y 1))) (>= x1 y1))))
+//!     (assert (forall ((x Int) (y Int))
+//!         (=> (and (= x 1) (= y 0)) (>= x y))))
+//! "#).unwrap();
+//! let mut solver = CegarSolver::new(&sys, SolverConfig::default());
+//! match solver.solve(&Budget::unlimited()) {
+//!     SolveResult::Sat(interp) => assert!(interp.contains_key(&sys.pred_by_name("p").unwrap().id)),
+//!     other => panic!("Fig. 1 must verify, got {other:?}"),
+//! }
+//! ```
+
+use linarb_arith::BigInt;
+use linarb_logic::{
+    ChcSystem, Clause, ClauseHead, ClauseId, Formula, Interpretation, Model, PredId, Var,
+};
+use linarb_ml::{learn, Dataset, LearnConfig, LearnError, Sample};
+use linarb_smt::{check_sat, Budget, SmtResult};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::fmt;
+use std::sync::Arc;
+
+/// A pluggable learning engine for the CEGAR loop.
+///
+/// The default engine is the paper's toolchain (Algorithm 1 + 2 from
+/// `linarb-ml`); the evaluation's baseline learners (PIE-style
+/// enumeration, DIG-style templates) implement this trait to be
+/// compared inside the *same* sampling loop, exactly as in Fig. 8(a)
+/// and 8(b).
+pub trait Learner: Send + Sync {
+    /// Produces a formula over `params` separating the dataset's
+    /// positive samples from its negative samples.
+    ///
+    /// # Errors
+    ///
+    /// [`LearnError`] when no separator exists (contradictory data) or
+    /// the engine's hypothesis space is exhausted.
+    fn learn(&self, data: &Dataset, params: &[Var]) -> Result<Formula, LearnError>;
+
+    /// A short engine name for reports.
+    fn name(&self) -> &str;
+}
+
+/// The default learner: the paper's machine-learning toolchain.
+#[derive(Clone, Debug, Default)]
+pub struct MlLearner {
+    /// Pipeline configuration (classifier choice, decision tree
+    /// on/off, mod features, SVM `C`…).
+    pub config: LearnConfig,
+}
+
+impl Learner for MlLearner {
+    fn learn(&self, data: &Dataset, params: &[Var]) -> Result<Formula, LearnError> {
+        learn(data, params, &self.config).map(|(f, _)| f)
+    }
+
+    fn name(&self) -> &str {
+        if self.config.use_decision_tree {
+            "LinearArbitrary+DT"
+        } else {
+            "LinearArbitrary"
+        }
+    }
+}
+
+/// Configuration of the CEGAR solver.
+#[derive(Clone)]
+pub struct SolverConfig {
+    /// The learning engine.
+    pub learner: Arc<dyn Learner>,
+    /// Cap on CEGAR refinement steps before giving up.
+    pub max_iterations: usize,
+}
+
+impl SolverConfig {
+    /// The paper's configuration with a custom learning pipeline.
+    pub fn with_learn_config(learn: LearnConfig) -> SolverConfig {
+        SolverConfig {
+            learner: Arc::new(MlLearner { config: learn }),
+            max_iterations: 20_000,
+        }
+    }
+
+    /// A configuration around any learning engine.
+    pub fn with_learner(learner: Arc<dyn Learner>) -> SolverConfig {
+        SolverConfig { learner, max_iterations: 20_000 }
+    }
+}
+
+impl Default for SolverConfig {
+    fn default() -> Self {
+        SolverConfig::with_learn_config(LearnConfig::default())
+    }
+}
+
+impl fmt::Debug for SolverConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "SolverConfig {{ learner: {}, max_iterations: {} }}",
+            self.learner.name(),
+            self.max_iterations
+        )
+    }
+}
+
+/// One node of an unsat derivation tree: `pred(sample)` was derived by
+/// `clause` from the child derivations (empty for facts).
+#[derive(Clone, Debug)]
+pub struct DerivationNode {
+    /// The derived predicate, or `None` for the goal violation at the
+    /// root.
+    pub pred: Option<PredId>,
+    /// The concrete argument values.
+    pub sample: Sample,
+    /// The clause whose instance performs this derivation step.
+    pub clause: ClauseId,
+    /// The clause-variable assignment witnessing the step.
+    pub model: Model,
+    /// Derivations of the body predicates.
+    pub children: Vec<DerivationNode>,
+}
+
+impl DerivationNode {
+    /// Total number of derivation steps.
+    pub fn size(&self) -> usize {
+        1 + self.children.iter().map(DerivationNode::size).sum::<usize>()
+    }
+
+    /// Depth of the tree.
+    pub fn depth(&self) -> usize {
+        1 + self.children.iter().map(DerivationNode::depth).max().unwrap_or(0)
+    }
+
+    /// Replays the derivation against the system, checking that every
+    /// step's constraint holds under its recorded model and that the
+    /// argument terms evaluate to the recorded samples. Used to
+    /// validate counterexamples independently of the solver.
+    pub fn replay(&self, sys: &ChcSystem) -> bool {
+        let clause = sys.clause(self.clause);
+        if !clause.constraint.eval(&self.model) {
+            return false;
+        }
+        // head args must evaluate to our sample (goal roots carry the
+        // goal-violating model instead of head args).
+        if let (Some(_), ClauseHead::Pred(app)) = (&self.pred, &clause.head) {
+            if app.eval_args(&self.model) != self.sample {
+                return false;
+            }
+        }
+        if let ClauseHead::Goal(g) = &clause.head {
+            if self.pred.is_none() && g.eval(&self.model) {
+                return false; // goal must be violated at the root
+            }
+        }
+        if clause.body_preds.len() != self.children.len() {
+            return false;
+        }
+        for (app, child) in clause.body_preds.iter().zip(self.children.iter()) {
+            if Some(app.pred) != child.pred {
+                return false;
+            }
+            if app.eval_args(&self.model) != child.sample {
+                return false;
+            }
+            if !child.replay(sys) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Why the solver answered [`SolveResult::Unknown`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum UnknownReason {
+    /// The wall-clock budget was exhausted.
+    Timeout,
+    /// The iteration cap was reached.
+    IterationLimit,
+    /// The SMT oracle answered unknown on a check.
+    SmtUnknown,
+    /// Learning failed (contradictory samples indicate an internal
+    /// invariant violation; reported rather than panicking).
+    LearnFailure(String),
+}
+
+/// Result of [`CegarSolver::solve`].
+#[derive(Debug)]
+pub enum SolveResult {
+    /// The system is satisfiable; the interpretation validates every
+    /// clause.
+    Sat(Interpretation),
+    /// The system is unsatisfiable; the derivation tree is a concrete
+    /// counterexample.
+    Unsat(DerivationNode),
+    /// No verdict within budget.
+    Unknown(UnknownReason),
+}
+
+impl SolveResult {
+    /// Returns `true` for [`SolveResult::Sat`].
+    pub fn is_sat(&self) -> bool {
+        matches!(self, SolveResult::Sat(_))
+    }
+
+    /// Returns `true` for [`SolveResult::Unsat`].
+    pub fn is_unsat(&self) -> bool {
+        matches!(self, SolveResult::Unsat(_))
+    }
+}
+
+/// Statistics of a solve run (feeds the paper's `#S` and `#A`
+/// columns).
+#[derive(Clone, Debug, Default)]
+pub struct SolveStats {
+    /// CEGAR refinement steps performed.
+    pub iterations: usize,
+    /// SMT validity checks issued.
+    pub smt_checks: usize,
+    /// Total samples across predicates (the paper's `#S`).
+    pub samples: usize,
+    /// Positive samples across predicates.
+    pub positive_samples: usize,
+    /// Learner invocations.
+    pub learn_calls: usize,
+}
+
+/// The data-driven CHC solver.
+pub struct CegarSolver<'a> {
+    sys: &'a ChcSystem,
+    config: SolverConfig,
+    interp: Interpretation,
+    data: HashMap<PredId, Dataset>,
+    /// Justification of each positive sample: the deriving clause, the
+    /// body samples it consumed, and the witnessing model.
+    justif: HashMap<(PredId, Sample), (ClauseId, Vec<(PredId, Sample)>, Model)>,
+    stats: SolveStats,
+}
+
+impl<'a> CegarSolver<'a> {
+    /// Creates a solver for the given system.
+    pub fn new(sys: &'a ChcSystem, config: SolverConfig) -> CegarSolver<'a> {
+        let data = sys
+            .preds()
+            .iter()
+            .map(|p| (p.id, Dataset::new(p.arity())))
+            .collect();
+        CegarSolver { sys, config, interp: Interpretation::new(), data, justif: HashMap::new(), stats: SolveStats::default() }
+    }
+
+    /// Statistics of the last [`solve`](Self::solve) run.
+    pub fn stats(&self) -> &SolveStats {
+        &self.stats
+    }
+
+    /// The current interpretation (meaningful after a `Sat` result).
+    pub fn interpretation(&self) -> &Interpretation {
+        &self.interp
+    }
+
+    /// Runs Algorithm 3 to completion (or budget exhaustion).
+    pub fn solve(&mut self, budget: &Budget) -> SolveResult {
+        // Dirty-set scheduling: a clause needs (re)checking iff the
+        // interpretation of a predicate it mentions changed.
+        let mut dirty: VecDeque<ClauseId> =
+            self.sys.clauses().iter().map(|c| c.id).collect();
+        let mut dirty_set: HashSet<ClauseId> = dirty.iter().copied().collect();
+
+        while let Some(cid) = dirty.pop_front() {
+            dirty_set.remove(&cid);
+            if budget.exhausted() {
+                return SolveResult::Unknown(UnknownReason::Timeout);
+            }
+            let clause = self.sys.clause(cid);
+            // Inner loop: resolve this clause until valid.
+            loop {
+                self.stats.iterations += 1;
+                if self.stats.iterations > self.config.max_iterations {
+                    return SolveResult::Unknown(UnknownReason::IterationLimit);
+                }
+                if budget.exhausted() {
+                    return SolveResult::Unknown(UnknownReason::Timeout);
+                }
+                let check = self.sys.validity_check(clause, &self.interp);
+                self.stats.smt_checks += 1;
+                let model = match check_sat(&check, budget) {
+                    SmtResult::Unsat => break, // clause valid
+                    SmtResult::Unknown => {
+                        return SolveResult::Unknown(UnknownReason::SmtUnknown)
+                    }
+                    SmtResult::Sat(m) => m,
+                };
+                match self.resolve(clause, model) {
+                    Resolution::HeadWeakened(h) => {
+                        // Re-enqueue clauses mentioning h; prefer the
+                        // clauses that consume h in the body (the
+                        // paper's propagation order) by pushing this
+                        // clause last.
+                        self.mark_dirty(h, &mut dirty, &mut dirty_set);
+                        if dirty_set.insert(cid) {
+                            dirty.push_back(cid);
+                        }
+                        break;
+                    }
+                    Resolution::BodyStrengthened(changed) => {
+                        for p in changed {
+                            self.mark_dirty(p, &mut dirty, &mut dirty_set);
+                        }
+                        // keep refining this same clause (inner loop)
+                    }
+                    Resolution::Refuted(tree) => return SolveResult::Unsat(tree),
+                    Resolution::Failed(reason) => return SolveResult::Unknown(reason),
+                }
+            }
+        }
+        // Every clause validated.
+        self.finalize_stats();
+        SolveResult::Sat(self.interp.clone())
+    }
+
+    fn finalize_stats(&mut self) {
+        self.stats.samples = self.data.values().map(Dataset::len).sum();
+        self.stats.positive_samples =
+            self.data.values().map(Dataset::num_positive).sum();
+    }
+
+    fn mark_dirty(
+        &self,
+        pred: PredId,
+        dirty: &mut VecDeque<ClauseId>,
+        dirty_set: &mut HashSet<ClauseId>,
+    ) {
+        for c in self.sys.clauses() {
+            let mentions = c.body_preds.iter().any(|a| a.pred == pred)
+                || matches!(&c.head, ClauseHead::Pred(a) if a.pred == pred);
+            if mentions && dirty_set.insert(c.id) {
+                dirty.push_back(c.id);
+            }
+        }
+    }
+
+    fn resolve(&mut self, clause: &Clause, model: Model) -> Resolution {
+        // Convert the countermodel into samples (Z3Eval).
+        let body_samples: Vec<(PredId, Sample)> = clause
+            .body_preds
+            .iter()
+            .map(|app| (app.pred, app.eval_args(&model)))
+            .collect();
+        let all_positive = body_samples
+            .iter()
+            .all(|(p, s)| self.data[p].contains_positive(s));
+
+        if all_positive {
+            match &clause.head {
+                ClauseHead::Pred(app) => {
+                    // Weaken the head: record the derived positive
+                    // sample, clear negatives, reset to `true`.
+                    let h = app.pred;
+                    let sh = app.eval_args(&model);
+                    let ds = self.data.get_mut(&h).expect("declared");
+                    ds.add_positive(sh.clone());
+                    ds.clear_negatives();
+                    self.justif
+                        .entry((h, sh))
+                        .or_insert((clause.id, body_samples, model));
+                    self.interp.remove(&h); // back to `true`
+                    Resolution::HeadWeakened(h)
+                }
+                ClauseHead::Goal(_) => {
+                    // A derivable configuration violates the goal: the
+                    // system is unsatisfiable.
+                    let children: Vec<DerivationNode> = body_samples
+                        .iter()
+                        .map(|(p, s)| self.build_derivation(*p, s))
+                        .collect();
+                    self.finalize_stats();
+                    Resolution::Refuted(DerivationNode {
+                        pred: None,
+                        sample: Vec::new(),
+                        clause: clause.id,
+                        model,
+                        children,
+                    })
+                }
+            }
+        } else {
+            // Strengthen: unknown body samples become negatives.
+            let mut changed = Vec::new();
+            for (p, s) in &body_samples {
+                if !self.data[p].contains_positive(s) {
+                    let ds = self.data.get_mut(p).expect("declared");
+                    if ds.add_negative(s.clone()) && !changed.contains(p) {
+                        changed.push(*p);
+                    }
+                }
+            }
+            if changed.is_empty() {
+                // All body samples known (possible when a negative was
+                // re-derived); re-learn every body predicate to force
+                // progress.
+                changed = body_samples.iter().map(|(p, _)| *p).collect();
+                changed.dedup();
+            }
+            for p in &changed {
+                let pred = self.sys.pred(*p);
+                self.stats.learn_calls += 1;
+                match self.config.learner.learn(&self.data[p], &pred.params) {
+                    Ok(f) => {
+                        self.interp.insert(*p, f);
+                    }
+                    Err(LearnError::ContradictorySamples(s)) => {
+                        return Resolution::Failed(UnknownReason::LearnFailure(format!(
+                            "contradictory samples for {}: {s:?}",
+                            pred.name
+                        )))
+                    }
+                    Err(e) => {
+                        return Resolution::Failed(UnknownReason::LearnFailure(e.to_string()))
+                    }
+                }
+            }
+            Resolution::BodyStrengthened(changed)
+        }
+    }
+
+    fn build_derivation(&self, pred: PredId, sample: &Sample) -> DerivationNode {
+        match self.justif.get(&(pred, sample.clone())) {
+            Some((clause, body, model)) => DerivationNode {
+                pred: Some(pred),
+                sample: sample.clone(),
+                clause: *clause,
+                model: model.clone(),
+                children: body
+                    .iter()
+                    .map(|(p, s)| self.build_derivation(*p, s))
+                    .collect(),
+            },
+            None => unreachable!("positive samples always carry a justification"),
+        }
+    }
+
+    /// The paper's `#A` column: for the final interpretation of each
+    /// predicate, the number of conjuncts in each disjunct of the
+    /// DNF-shaped formula.
+    pub fn interpretation_shape(&self) -> HashMap<PredId, Vec<usize>> {
+        self.interp
+            .iter()
+            .map(|(p, f)| (*p, disjunct_sizes(f)))
+            .collect()
+    }
+}
+
+/// Number of atoms in each top-level disjunct of a formula.
+pub fn disjunct_sizes(f: &Formula) -> Vec<usize> {
+    fn conjuncts(f: &Formula) -> usize {
+        match f {
+            Formula::And(fs) => fs.iter().map(conjuncts).sum(),
+            Formula::True | Formula::False => 0,
+            _ => 1,
+        }
+    }
+    match f {
+        Formula::Or(fs) => fs.iter().map(conjuncts).collect(),
+        other => vec![conjuncts(other)],
+    }
+}
+
+enum Resolution {
+    HeadWeakened(PredId),
+    BodyStrengthened(Vec<PredId>),
+    Refuted(DerivationNode),
+    Failed(UnknownReason),
+}
+
+impl fmt::Debug for CegarSolver<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "CegarSolver {{ preds: {}, clauses: {}, iterations: {} }}",
+            self.sys.num_preds(),
+            self.sys.num_clauses(),
+            self.stats.iterations
+        )
+    }
+}
+
+/// Verifies that an interpretation validates every clause of a system
+/// (an independent soundness check used by tests and benches).
+pub fn verify_interpretation(
+    sys: &ChcSystem,
+    interp: &Interpretation,
+    budget: &Budget,
+) -> Option<bool> {
+    for c in sys.clauses() {
+        let chk = sys.validity_check(c, interp);
+        match check_sat(&chk, budget) {
+            SmtResult::Unsat => {}
+            SmtResult::Sat(_) => return Some(false),
+            SmtResult::Unknown => return None,
+        }
+    }
+    Some(true)
+}
+
+/// Convenience: parse-free entry point used by examples and benches.
+pub fn solve_system(sys: &ChcSystem, config: SolverConfig, budget: &Budget) -> SolveResult {
+    CegarSolver::new(sys, config).solve(budget)
+}
+
+// `BigInt` appears in the public `Sample` type alias.
+#[doc(hidden)]
+pub type _SampleElem = BigInt;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use linarb_logic::parse_chc;
+
+    fn solve_text(text: &str) -> (SolveResult, SolveStats) {
+        let sys = parse_chc(text).expect("parse");
+        let mut solver = CegarSolver::new(&sys, SolverConfig::default());
+        let r = solver.solve(&Budget::unlimited());
+        // Independent soundness check for SAT results.
+        if let SolveResult::Sat(interp) = &r {
+            assert_eq!(
+                verify_interpretation(&sys, interp, &Budget::unlimited()),
+                Some(true),
+                "returned interpretation must validate every clause"
+            );
+        }
+        if let SolveResult::Unsat(tree) = &r {
+            assert!(tree.replay(&sys), "counterexample must replay");
+        }
+        (r, solver.stats().clone())
+    }
+
+    const FIG1: &str = r#"
+        (declare-fun p (Int Int) Bool)
+        (assert (forall ((x Int) (y Int))
+            (=> (and (= x 1) (= y 0)) (p x y))))
+        (assert (forall ((x Int) (y Int) (x1 Int) (y1 Int))
+            (=> (and (p x y) (= x1 (+ x y)) (= y1 (+ y 1))) (p x1 y1))))
+        (assert (forall ((x Int) (y Int) (x1 Int) (y1 Int))
+            (=> (and (p x y) (= x1 (+ x y)) (= y1 (+ y 1))) (>= x1 y1))))
+        (assert (forall ((x Int) (y Int))
+            (=> (and (= x 1) (= y 0)) (>= x y))))
+    "#;
+
+    #[test]
+    fn fig1_verifies() {
+        let (r, stats) = solve_text(FIG1);
+        assert!(r.is_sat(), "{r:?}");
+        assert!(stats.samples > 0);
+    }
+
+    #[test]
+    fn fig1_unsafe_variant_refuted() {
+        // strengthen the property to x > y, which fails at (1, 1)
+        let text = FIG1.replace("(>= x1 y1)", "(> x1 y1)");
+        let (r, _) = solve_text(&text);
+        assert!(r.is_unsat(), "{r:?}");
+        if let SolveResult::Unsat(tree) = r {
+            assert!(tree.depth() >= 1);
+        }
+    }
+
+    #[test]
+    fn trivially_safe_no_predicates() {
+        let (r, _) = solve_text("(assert (forall ((x Int)) (=> (> x 0) (>= x 1))))");
+        assert!(r.is_sat());
+    }
+
+    #[test]
+    fn trivially_unsafe_no_predicates() {
+        let (r, _) = solve_text("(assert (forall ((x Int)) (=> (> x 0) (>= x 2))))");
+        assert!(r.is_unsat(), "{r:?}");
+    }
+
+    #[test]
+    fn simple_counter_loop() {
+        // i := 0; while (i < 10) i++; assert i == 10
+        let text = r#"
+            (declare-fun inv (Int) Bool)
+            (assert (forall ((i Int)) (=> (= i 0) (inv i))))
+            (assert (forall ((i Int) (i1 Int))
+                (=> (and (inv i) (< i 10) (= i1 (+ i 1))) (inv i1))))
+            (assert (forall ((i Int))
+                (=> (and (inv i) (>= i 10)) (= i 10))))
+        "#;
+        let (r, _) = solve_text(text);
+        assert!(r.is_sat(), "{r:?}");
+    }
+
+    #[test]
+    fn fibonacci_recursion() {
+        // Program (c) of the paper: fibo with y >= x - 1.
+        let text = r#"
+            (declare-fun p (Int Int) Bool)
+            (assert (forall ((x Int) (y Int))
+                (=> (and (< x 1) (= y 0)) (p x y))))
+            (assert (forall ((x Int) (y Int))
+                (=> (and (= x 1) (= y 1)) (p x y))))
+            (assert (forall ((x Int) (y Int) (y1 Int) (y2 Int))
+                (=> (and (> x 1) (p (- x 1) y1) (p (- x 2) y2) (= y (+ y1 y2)))
+                    (p x y))))
+            (assert (forall ((x Int) (y Int))
+                (=> (p x y) (>= y (- x 1)))))
+        "#;
+        let (r, stats) = solve_text(text);
+        assert!(r.is_sat(), "{r:?}");
+        assert!(stats.positive_samples > 0, "recursion must generate derivations");
+    }
+
+    #[test]
+    fn unsafe_recursion_produces_derivation_tree() {
+        // claim fibo(x) >= x, false at x = 1 (fib(1)=1>=1 ok) -> x=2:
+        // fib(2) = 1 < 2. Non-linear derivation expected.
+        let text = r#"
+            (declare-fun p (Int Int) Bool)
+            (assert (forall ((x Int) (y Int))
+                (=> (and (< x 1) (= y 0)) (p x y))))
+            (assert (forall ((x Int) (y Int))
+                (=> (and (= x 1) (= y 1)) (p x y))))
+            (assert (forall ((x Int) (y Int) (y1 Int) (y2 Int))
+                (=> (and (> x 1) (p (- x 1) y1) (p (- x 2) y2) (= y (+ y1 y2)))
+                    (p x y))))
+            (assert (forall ((x Int) (y Int))
+                (=> (and (p x y) (> x 1)) (>= y x))))
+        "#;
+        let (r, _) = solve_text(text);
+        match r {
+            SolveResult::Unsat(tree) => {
+                assert!(tree.size() >= 2, "needs at least one real derivation step");
+            }
+            other => panic!("expected unsat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn two_predicates_chained() {
+        let text = r#"
+            (declare-fun a (Int) Bool)
+            (declare-fun b (Int) Bool)
+            (assert (forall ((x Int)) (=> (= x 0) (a x))))
+            (assert (forall ((x Int) (x1 Int))
+                (=> (and (a x) (< x 5) (= x1 (+ x 1))) (a x1))))
+            (assert (forall ((x Int)) (=> (and (a x) (>= x 5)) (b x))))
+            (assert (forall ((x Int) (x1 Int))
+                (=> (and (b x) (= x1 (- x 1)) (> x 0)) (b x1))))
+            (assert (forall ((x Int)) (=> (b x) (>= x 0))))
+        "#;
+        let (r, _) = solve_text(text);
+        assert!(r.is_sat(), "{r:?}");
+    }
+
+    #[test]
+    fn disjunctive_invariant_program_a() {
+        // Program (a) from the paper: x=0, y=*; while (y != 0) {...}
+        // assert x != 0 inside the loop after update.
+        // CHC encoding with invariant at loop head.
+        let text = r#"
+            (declare-fun inv (Int Int) Bool)
+            (assert (forall ((x Int) (y Int)) (=> (= x 0) (inv x y))))
+            (assert (forall ((x Int) (y Int) (x1 Int) (y1 Int))
+                (=> (and (inv x y) (distinct y 0)
+                         (or (and (< y 0) (= x1 (- x 1)) (= y1 (+ y 1)))
+                             (and (>= y 0) (= x1 (+ x 1)) (= y1 (- y 1)))))
+                    (inv x1 y1))))
+            (assert (forall ((x Int) (y Int) (x1 Int) (y1 Int))
+                (=> (and (inv x y) (distinct y 0)
+                         (or (and (< y 0) (= x1 (- x 1)) (= y1 (+ y 1)))
+                             (and (>= y 0) (= x1 (+ x 1)) (= y1 (- y 1))))
+                         (distinct y1 0))
+                    (distinct x1 0))))
+        "#;
+        let (r, _) = solve_text(text);
+        assert!(r.is_sat(), "program (a) needs a disjunctive invariant: {r:?}");
+    }
+
+    #[test]
+    fn stats_populated() {
+        let (_, stats) = solve_text(FIG1);
+        assert!(stats.iterations > 0);
+        assert!(stats.smt_checks > 0);
+    }
+
+    #[test]
+    fn interpretation_shape_reports_disjuncts() {
+        let sys = parse_chc(FIG1).unwrap();
+        let mut solver = CegarSolver::new(&sys, SolverConfig::default());
+        let r = solver.solve(&Budget::unlimited());
+        assert!(r.is_sat());
+        let shape = solver.interpretation_shape();
+        for sizes in shape.values() {
+            assert!(!sizes.is_empty());
+        }
+    }
+
+    #[test]
+    fn ablation_without_dt_still_solves_simple() {
+        let sys = parse_chc(FIG1).unwrap();
+        let mut lc = LearnConfig::default();
+        lc.use_decision_tree = false;
+        let config = SolverConfig::with_learn_config(lc);
+        let mut solver = CegarSolver::new(&sys, config);
+        let r = solver.solve(&Budget::unlimited());
+        // Without DT generalization this may need more iterations but
+        // should still solve Fig. 1 (or at worst hit the cap).
+        assert!(
+            r.is_sat() || matches!(r, SolveResult::Unknown(_)),
+            "must not report unsat: {r:?}"
+        );
+    }
+
+    #[test]
+    fn iteration_limit_respected() {
+        let sys = parse_chc(FIG1).unwrap();
+        let config = SolverConfig { max_iterations: 1, ..SolverConfig::default() };
+        let mut solver = CegarSolver::new(&sys, config);
+        match solver.solve(&Budget::unlimited()) {
+            SolveResult::Unknown(UnknownReason::IterationLimit) => {}
+            other => panic!("expected iteration limit, got {other:?}"),
+        }
+    }
+}
+
+/// Simplifies a satisfying interpretation by dropping redundant
+/// pieces: each predicate's formula is pruned (top-level disjuncts,
+/// then conjuncts inside them) as long as the whole interpretation
+/// still validates every clause.
+///
+/// Returns the simplified interpretation; the result is guaranteed to
+/// validate the system (checked incrementally during pruning).
+pub fn simplify_interpretation(
+    sys: &ChcSystem,
+    interp: &Interpretation,
+    budget: &Budget,
+) -> Interpretation {
+    let mut current = interp.clone();
+    let preds: Vec<PredId> = current.keys().copied().collect();
+    for p in preds {
+        let formula = current[&p].clone();
+        // candidate reductions: drop one top-level disjunct, or one
+        // conjunct of a disjunct
+        let mut best = formula.clone();
+        loop {
+            let mut improved = false;
+            for candidate in reductions(&best) {
+                if candidate.size() >= best.size() {
+                    continue;
+                }
+                let mut trial = current.clone();
+                trial.insert(p, candidate.clone());
+                if verify_interpretation(sys, &trial, budget) == Some(true) {
+                    best = candidate;
+                    improved = true;
+                    break;
+                }
+            }
+            if !improved || budget.exhausted() {
+                break;
+            }
+        }
+        current.insert(p, best);
+    }
+    current
+}
+
+/// One-step structural reductions of a formula: remove a disjunct,
+/// remove a conjunct, or replace the whole thing with `true`.
+fn reductions(f: &Formula) -> Vec<Formula> {
+    let mut out = vec![Formula::True];
+    match f {
+        Formula::Or(fs) => {
+            for i in 0..fs.len() {
+                let mut rest = fs.clone();
+                rest.remove(i);
+                out.push(Formula::or(rest));
+            }
+            // also try reducing inside each disjunct
+            for (i, g) in fs.iter().enumerate() {
+                for r in reductions(g) {
+                    if matches!(r, Formula::True) {
+                        continue;
+                    }
+                    let mut rest = fs.clone();
+                    rest[i] = r;
+                    out.push(Formula::or(rest));
+                }
+            }
+        }
+        Formula::And(fs) => {
+            for i in 0..fs.len() {
+                let mut rest = fs.clone();
+                rest.remove(i);
+                out.push(Formula::and(rest));
+            }
+        }
+        _ => {}
+    }
+    out
+}
+
+#[cfg(test)]
+mod simplify_tests {
+    use super::*;
+    use linarb_logic::parse_chc;
+
+    #[test]
+    fn simplification_keeps_validity_and_shrinks() {
+        let sys = parse_chc(
+            r#"
+            (declare-fun p (Int) Bool)
+            (assert (forall ((x Int)) (=> (= x 0) (p x))))
+            (assert (forall ((x Int) (x1 Int))
+                (=> (and (p x) (< x 5) (= x1 (+ x 1))) (p x1))))
+            (assert (forall ((x Int)) (=> (p x) (<= x 5))))
+        "#,
+        )
+        .unwrap();
+        let mut solver = CegarSolver::new(&sys, SolverConfig::default());
+        let SolveResult::Sat(interp) = solver.solve(&Budget::unlimited()) else {
+            panic!("must verify");
+        };
+        let simplified = simplify_interpretation(&sys, &interp, &Budget::unlimited());
+        assert_eq!(
+            verify_interpretation(&sys, &simplified, &Budget::unlimited()),
+            Some(true)
+        );
+        let before: usize = interp.values().map(Formula::size).sum();
+        let after: usize = simplified.values().map(Formula::size).sum();
+        assert!(after <= before, "simplification must not grow ({before} -> {after})");
+    }
+
+    #[test]
+    fn trivial_interpretation_becomes_true_if_sufficient() {
+        // query valid under `true` already: simplifier collapses to true
+        let sys = parse_chc(
+            r#"
+            (declare-fun p (Int) Bool)
+            (assert (forall ((x Int)) (=> (> x 0) (p x))))
+            (assert (forall ((x Int)) (=> (p x) (>= x (- 100)))))
+        "#,
+        )
+        .unwrap();
+        // build an over-complicated interpretation by hand
+        let p = sys.pred_by_name("p").unwrap();
+        let param = p.params[0];
+        use linarb_arith::int;
+        use linarb_logic::{Atom, LinExpr};
+        let complicated: Interpretation = [(
+            p.id,
+            Formula::and(vec![
+                Formula::from(Atom::ge(LinExpr::var(param), LinExpr::constant(int(-100)))),
+                Formula::from(Atom::le(LinExpr::var(param), LinExpr::constant(int(1_000_000)))),
+            ]),
+        )]
+        .into_iter()
+        .collect();
+        // note: `complicated` is NOT valid here (p must cover all x>0,
+        // and it does: x>0 -> x>=-100 and x <= 1000000? NO — x can be
+        // 2000000). Use a valid one:
+        let valid: Interpretation = [(
+            p.id,
+            Formula::and(vec![
+                Formula::from(Atom::ge(LinExpr::var(param), LinExpr::constant(int(-100)))),
+                Formula::from(Atom::ge(LinExpr::var(param), LinExpr::constant(int(-50)))),
+            ]),
+        )]
+        .into_iter()
+        .collect();
+        let _ = complicated;
+        assert_eq!(verify_interpretation(&sys, &valid, &Budget::unlimited()), Some(true));
+        let simplified = simplify_interpretation(&sys, &valid, &Budget::unlimited());
+        let f = &simplified[&p.id];
+        assert!(f.size() <= 1, "should collapse to a single atom or true, got {f}");
+    }
+}

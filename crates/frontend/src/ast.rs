@@ -1,0 +1,135 @@
+//! Abstract syntax of mini-C.
+//!
+//! Mini-C covers the constructs exercised by the paper's benchmarks:
+//! integer variables, nondeterminism (`nondet()` / `*`), full control
+//! flow (`if`/`else`, `while`), `assert`/`assume`, and (mutually)
+//! recursive integer functions with multiple call sites per
+//! expression. Multiplication, division and modulus are restricted to
+//! constant operands so that verification conditions stay in linear
+//! integer arithmetic.
+
+use std::fmt;
+
+/// A complete program: a set of functions, one of which is `main`.
+#[derive(Clone, Debug)]
+pub struct Program {
+    /// All function definitions, `main` included.
+    pub functions: Vec<Function>,
+    /// Number of source lines (the paper's `#L` statistic).
+    pub source_lines: usize,
+}
+
+impl Program {
+    /// Looks up a function by name.
+    pub fn function(&self, name: &str) -> Option<&Function> {
+        self.functions.iter().find(|f| f.name == name)
+    }
+}
+
+/// A function definition.
+#[derive(Clone, Debug)]
+pub struct Function {
+    /// Function name.
+    pub name: String,
+    /// Parameter names (all `int`).
+    pub params: Vec<String>,
+    /// `true` if the function returns an `int` (otherwise `void`).
+    pub returns_value: bool,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+}
+
+/// Statements.
+#[derive(Clone, Debug)]
+pub enum Stmt {
+    /// `int x;` or `int x = e;`
+    Decl(String, Option<Expr>),
+    /// `x = e;`
+    Assign(String, Expr),
+    /// `if (c) { .. } else { .. }` (else optional)
+    If(Cond, Vec<Stmt>, Vec<Stmt>),
+    /// `while (c) { .. }`
+    While(Cond, Vec<Stmt>),
+    /// `assert(c);`
+    Assert(Cond),
+    /// `assume(c);`
+    Assume(Cond),
+    /// `return e;` (or bare `return;` in void functions)
+    Return(Option<Expr>),
+    /// `e;` — expression statement (for side-effecting calls)
+    Expr(Expr),
+}
+
+/// Conditions: boolean combinations of comparisons, or pure
+/// nondeterminism (`*`).
+#[derive(Clone, Debug)]
+pub enum Cond {
+    /// Nondeterministic choice.
+    Nondet,
+    /// `e1 op e2`
+    Cmp(CmpOp, Expr, Expr),
+    /// `c1 && c2`
+    And(Box<Cond>, Box<Cond>),
+    /// `c1 || c2`
+    Or(Box<Cond>, Box<Cond>),
+    /// `!c`
+    Not(Box<Cond>),
+    /// `true` / `false`
+    Const(bool),
+}
+
+/// Comparison operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+/// Integer expressions.
+#[derive(Clone, Debug)]
+pub enum Expr {
+    /// Integer literal.
+    Lit(i64),
+    /// Variable reference.
+    Var(String),
+    /// `nondet()` / `*`
+    Nondet,
+    /// `e1 + e2`
+    Add(Box<Expr>, Box<Expr>),
+    /// `e1 - e2`
+    Sub(Box<Expr>, Box<Expr>),
+    /// Unary `-e`
+    Neg(Box<Expr>),
+    /// `e1 * e2` (at least one side must be constant)
+    Mul(Box<Expr>, Box<Expr>),
+    /// `e / k` for a positive constant `k` (floor semantics)
+    Div(Box<Expr>, Box<Expr>),
+    /// `e % k` for a positive constant `k` (result in `[0, k)`)
+    Mod(Box<Expr>, Box<Expr>),
+    /// Function call `f(e, …)`
+    Call(String, Vec<Expr>),
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "==",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        };
+        write!(f, "{s}")
+    }
+}

@@ -1,0 +1,391 @@
+//! A concrete interpreter for mini-C.
+//!
+//! Used for *differential testing*: executing a program on concrete
+//! nondeterministic choices must agree with the CHC semantics — a run
+//! that trips an `assert` proves the CHC system unsatisfiable, so any
+//! solver claiming `sat` for such a program has a soundness bug. The
+//! test suite runs thousands of random executions against the symbolic
+//! verdicts.
+
+use crate::ast::{CmpOp, Cond, Expr, Function, Program, Stmt};
+use std::collections::HashMap;
+
+/// Outcome of a concrete run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ExecOutcome {
+    /// `main` ran to completion; every assertion held.
+    Completed,
+    /// An `assert` failed (the program is definitely unsafe).
+    AssertFailed,
+    /// An `assume` failed: this input path is infeasible (no verdict).
+    AssumeViolated,
+    /// The step budget ran out (no verdict).
+    OutOfFuel,
+    /// Arithmetic overflowed the interpreter's `i128` domain or the
+    /// program was malformed (no verdict).
+    Stuck(String),
+}
+
+/// A deterministic supply of nondeterministic choices: values are
+/// consumed in order; when exhausted, zeros are produced.
+#[derive(Clone, Debug, Default)]
+pub struct NondetScript {
+    values: Vec<i128>,
+    cursor: usize,
+}
+
+impl NondetScript {
+    /// Creates a script from a list of choices.
+    pub fn new(values: Vec<i128>) -> NondetScript {
+        NondetScript { values, cursor: 0 }
+    }
+
+    fn next(&mut self) -> i128 {
+        let v = self.values.get(self.cursor).copied().unwrap_or(0);
+        self.cursor += 1;
+        v
+    }
+}
+
+struct Interp<'a> {
+    prog: &'a Program,
+    script: NondetScript,
+    fuel: u64,
+}
+
+enum Flow {
+    Normal,
+    Return(Option<i128>),
+    Stop(ExecOutcome),
+}
+
+type Env = HashMap<String, i128>;
+
+impl Interp<'_> {
+    fn tick(&mut self) -> Result<(), ExecOutcome> {
+        if self.fuel == 0 {
+            return Err(ExecOutcome::OutOfFuel);
+        }
+        self.fuel -= 1;
+        Ok(())
+    }
+
+    fn call(&mut self, f: &Function, args: &[i128]) -> Result<Option<i128>, ExecOutcome> {
+        let mut env: Env = f
+            .params
+            .iter()
+            .cloned()
+            .zip(args.iter().copied())
+            .collect();
+        match self.block(f, &f.body, &mut env)? {
+            Flow::Return(v) => Ok(v),
+            Flow::Normal if !f.returns_value => Ok(None),
+            Flow::Normal => Err(ExecOutcome::Stuck(format!(
+                "function `{}` fell through without returning",
+                f.name
+            ))),
+            Flow::Stop(o) => Err(o),
+        }
+    }
+
+    fn block(&mut self, f: &Function, stmts: &[Stmt], env: &mut Env) -> Result<Flow, ExecOutcome> {
+        for s in stmts {
+            match self.stmt(f, s, env)? {
+                Flow::Normal => {}
+                other => return Ok(other),
+            }
+        }
+        Ok(Flow::Normal)
+    }
+
+    fn stmt(&mut self, f: &Function, s: &Stmt, env: &mut Env) -> Result<Flow, ExecOutcome> {
+        self.tick()?;
+        match s {
+            Stmt::Decl(x, init) => {
+                let v = match init {
+                    Some(e) => self.expr(e, env)?,
+                    None => self.script.next(),
+                };
+                env.insert(x.clone(), v);
+                Ok(Flow::Normal)
+            }
+            Stmt::Assign(x, e) => {
+                let v = self.expr(e, env)?;
+                if !env.contains_key(x) {
+                    return Err(ExecOutcome::Stuck(format!("undeclared `{x}`")));
+                }
+                env.insert(x.clone(), v);
+                Ok(Flow::Normal)
+            }
+            Stmt::Expr(e) => {
+                // void calls allowed as statements
+                if let Expr::Call(name, args) = e {
+                    if let Some(callee) = self.prog.function(name) {
+                        if !callee.returns_value {
+                            let vals: Result<Vec<i128>, _> =
+                                args.iter().map(|a| self.expr(a, env)).collect();
+                            let callee = callee.clone();
+                            self.call(&callee, &vals?)?;
+                            return Ok(Flow::Normal);
+                        }
+                    }
+                }
+                self.expr(e, env)?;
+                Ok(Flow::Normal)
+            }
+            Stmt::Assume(c) => {
+                if self.cond(c, env)? {
+                    Ok(Flow::Normal)
+                } else {
+                    Ok(Flow::Stop(ExecOutcome::AssumeViolated))
+                }
+            }
+            Stmt::Assert(c) => {
+                if self.cond(c, env)? {
+                    Ok(Flow::Normal)
+                } else {
+                    Ok(Flow::Stop(ExecOutcome::AssertFailed))
+                }
+            }
+            Stmt::Return(e) => {
+                let v = match e {
+                    Some(e) => Some(self.expr(e, env)?),
+                    None => None,
+                };
+                Ok(Flow::Return(v))
+            }
+            Stmt::If(c, then_b, else_b) => {
+                if self.cond(c, env)? {
+                    self.block(f, then_b, env)
+                } else {
+                    self.block(f, else_b, env)
+                }
+            }
+            Stmt::While(c, body) => {
+                loop {
+                    self.tick()?;
+                    if !self.cond(c, env)? {
+                        return Ok(Flow::Normal);
+                    }
+                    match self.block(f, body, env)? {
+                        Flow::Normal => {}
+                        other => return Ok(other),
+                    }
+                }
+            }
+        }
+    }
+
+    fn cond(&mut self, c: &Cond, env: &mut Env) -> Result<bool, ExecOutcome> {
+        Ok(match c {
+            Cond::Const(b) => *b,
+            Cond::Nondet => self.script.next() != 0,
+            Cond::Not(c) => !self.cond(c, env)?,
+            Cond::And(a, b) => {
+                // both sides evaluate (mirrors the VC encoding, which
+                // evaluates side effects of both operands)
+                let va = self.cond(a, env)?;
+                let vb = self.cond(b, env)?;
+                va && vb
+            }
+            Cond::Or(a, b) => {
+                let va = self.cond(a, env)?;
+                let vb = self.cond(b, env)?;
+                va || vb
+            }
+            Cond::Cmp(op, l, r) => {
+                let lv = self.expr(l, env)?;
+                let rv = self.expr(r, env)?;
+                match op {
+                    CmpOp::Eq => lv == rv,
+                    CmpOp::Ne => lv != rv,
+                    CmpOp::Lt => lv < rv,
+                    CmpOp::Le => lv <= rv,
+                    CmpOp::Gt => lv > rv,
+                    CmpOp::Ge => lv >= rv,
+                }
+            }
+        })
+    }
+
+    fn expr(&mut self, e: &Expr, env: &mut Env) -> Result<i128, ExecOutcome> {
+        let overflow = || ExecOutcome::Stuck("arithmetic overflow".into());
+        Ok(match e {
+            Expr::Lit(n) => *n as i128,
+            Expr::Var(x) => *env
+                .get(x)
+                .ok_or_else(|| ExecOutcome::Stuck(format!("undeclared `{x}`")))?,
+            Expr::Nondet => self.script.next(),
+            Expr::Add(a, b) => {
+                let (x, y) = (self.expr(a, env)?, self.expr(b, env)?);
+                x.checked_add(y).ok_or_else(overflow)?
+            }
+            Expr::Sub(a, b) => {
+                let (x, y) = (self.expr(a, env)?, self.expr(b, env)?);
+                x.checked_sub(y).ok_or_else(overflow)?
+            }
+            Expr::Neg(a) => self.expr(a, env)?.checked_neg().ok_or_else(overflow)?,
+            Expr::Mul(a, b) => {
+                let (x, y) = (self.expr(a, env)?, self.expr(b, env)?);
+                x.checked_mul(y).ok_or_else(overflow)?
+            }
+            Expr::Div(a, b) => {
+                let (x, y) = (self.expr(a, env)?, self.expr(b, env)?);
+                if y <= 0 {
+                    return Err(ExecOutcome::Stuck("non-positive divisor".into()));
+                }
+                x.div_euclid(y)
+            }
+            Expr::Mod(a, b) => {
+                let (x, y) = (self.expr(a, env)?, self.expr(b, env)?);
+                if y <= 0 {
+                    return Err(ExecOutcome::Stuck("non-positive divisor".into()));
+                }
+                x.rem_euclid(y)
+            }
+            Expr::Call(name, args) => {
+                let callee = self
+                    .prog
+                    .function(name)
+                    .ok_or_else(|| ExecOutcome::Stuck(format!("undefined `{name}`")))?
+                    .clone();
+                if !callee.returns_value {
+                    return Err(ExecOutcome::Stuck(format!(
+                        "void function `{name}` used in expression"
+                    )));
+                }
+                let vals: Result<Vec<i128>, _> =
+                    args.iter().map(|a| self.expr(a, env)).collect();
+                self.call(&callee, &vals?)?
+                    .ok_or_else(|| ExecOutcome::Stuck("missing return value".into()))?
+            }
+        })
+    }
+}
+
+/// Executes `main` with the given nondeterministic choices and step
+/// budget.
+///
+/// ```
+/// use linarb_frontend::{execute, parse_program, ExecOutcome, NondetScript};
+///
+/// let prog = parse_program(r#"
+///     void main() {
+///         int x = nondet();
+///         assert(x >= 0);
+///     }
+/// "#)?;
+/// assert_eq!(execute(&prog, NondetScript::new(vec![5]), 1000), ExecOutcome::Completed);
+/// assert_eq!(execute(&prog, NondetScript::new(vec![-1]), 1000), ExecOutcome::AssertFailed);
+/// # Ok::<(), linarb_frontend::ParseError>(())
+/// ```
+pub fn execute(prog: &Program, script: NondetScript, fuel: u64) -> ExecOutcome {
+    let Some(main) = prog.function("main") else {
+        return ExecOutcome::Stuck("no main function".into());
+    };
+    let mut interp = Interp { prog, script, fuel };
+    match interp.call(&main.clone(), &[]) {
+        Ok(_) => ExecOutcome::Completed,
+        Err(o) => o,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    fn run(src: &str, inputs: Vec<i128>) -> ExecOutcome {
+        execute(&parse_program(src).unwrap(), NondetScript::new(inputs), 100_000)
+    }
+
+    #[test]
+    fn fig1_runs_safely() {
+        let src = r#"
+            void main() {
+                int x = 1; int y = 0;
+                while (*) { x = x + y; y = y + 1; }
+                assert(x >= y);
+            }
+        "#;
+        // loop 5 times (nondet cond true), then exit
+        assert_eq!(run(src, vec![1, 1, 1, 1, 1, 0]), ExecOutcome::Completed);
+        assert_eq!(run(src, vec![0]), ExecOutcome::Completed);
+    }
+
+    #[test]
+    fn failing_assert_detected() {
+        let src = r#"
+            void main() {
+                int x = 0;
+                while (x < 10) { x = x + 3; }
+                assert(x == 10);
+            }
+        "#;
+        assert_eq!(run(src, vec![]), ExecOutcome::AssertFailed);
+    }
+
+    #[test]
+    fn assume_prunes() {
+        let src = r#"
+            void main() {
+                int x = nondet();
+                assume(x > 0);
+                assert(x >= 1);
+            }
+        "#;
+        assert_eq!(run(src, vec![5]), ExecOutcome::Completed);
+        assert_eq!(run(src, vec![-5]), ExecOutcome::AssumeViolated);
+    }
+
+    #[test]
+    fn recursion_executes() {
+        let src = r#"
+            int fibo(int x) {
+                if (x < 1) { return 0; }
+                else { if (x == 1) { return 1; }
+                       else { return fibo(x - 1) + fibo(x - 2); } }
+            }
+            void main() {
+                int r = fibo(10);
+                assert(r == 55);
+            }
+        "#;
+        assert_eq!(run(src, vec![]), ExecOutcome::Completed);
+    }
+
+    #[test]
+    fn fuel_exhaustion() {
+        let src = r#"
+            void main() {
+                int x = 0;
+                while (x >= 0) { x = x + 1; }
+            }
+        "#;
+        assert_eq!(run(src, vec![]), ExecOutcome::OutOfFuel);
+    }
+
+    #[test]
+    fn mod_div_floor_semantics() {
+        let src = r#"
+            void main() {
+                int a = 0 - 7;
+                assert(a % 2 == 1);
+                assert(a / 2 == 0 - 4);
+            }
+        "#;
+        assert_eq!(run(src, vec![]), ExecOutcome::Completed);
+    }
+
+    #[test]
+    fn uninitialized_reads_nondet() {
+        let src = r#"
+            void main() {
+                int x;
+                assert(x == 42);
+            }
+        "#;
+        assert_eq!(run(src, vec![42]), ExecOutcome::Completed);
+        assert_eq!(run(src, vec![41]), ExecOutcome::AssertFailed);
+    }
+}

@@ -1,0 +1,130 @@
+//! End-to-end: mini-C → CHC → data-driven solver, on the paper's
+//! running examples.
+
+use linarb_frontend::compile;
+use linarb_smt::Budget;
+use linarb_solver::{solve_system, verify_interpretation, SolveResult, SolverConfig};
+use std::time::Duration;
+
+fn solve(src: &str) -> SolveResult {
+    let sys = compile(src).expect("compile");
+    let budget = Budget::timeout(Duration::from_secs(60));
+    let r = solve_system(&sys, SolverConfig::default(), &budget);
+    if let SolveResult::Sat(interp) = &r {
+        assert_eq!(
+            verify_interpretation(&sys, interp, &Budget::timeout(Duration::from_secs(60))),
+            Some(true),
+            "interpretation must validate all clauses"
+        );
+    }
+    if let SolveResult::Unsat(tree) = &r {
+        assert!(tree.replay(&sys), "counterexample must replay concretely");
+    }
+    r
+}
+
+#[test]
+fn paper_fig1_safe() {
+    let r = solve(
+        r#"
+        void main() {
+            int x = 1; int y = 0;
+            while (*) { x = x + y; y = y + 1; }
+            assert(x >= y);
+        }
+    "#,
+    );
+    assert!(r.is_sat(), "{r:?}");
+}
+
+#[test]
+fn paper_fig1_unsafe_variant() {
+    let r = solve(
+        r#"
+        void main() {
+            int x = 0; int y = 0;
+            while (*) { x = x + y; y = y + 1; }
+            assert(x >= y);
+        }
+    "#,
+    );
+    assert!(r.is_unsat(), "x starts at 0 so two iterations break x>=y: {r:?}");
+}
+
+#[test]
+fn paper_program_c_fibo_safe() {
+    let r = solve(
+        r#"
+        int fibo(int x) {
+            if (x < 1) { return 0; }
+            else { if (x == 1) { return 1; }
+                   else { return fibo(x - 1) + fibo(x - 2); } }
+        }
+        void main() {
+            int n = nondet();
+            assert(fibo(n) >= n - 1);
+        }
+    "#,
+    );
+    assert!(r.is_sat(), "{r:?}");
+}
+
+#[test]
+fn counter_loop_exact() {
+    let r = solve(
+        r#"
+        void main() {
+            int i = 0;
+            while (i < 10) { i = i + 1; }
+            assert(i == 10);
+        }
+    "#,
+    );
+    assert!(r.is_sat(), "{r:?}");
+}
+
+#[test]
+fn unsafe_counter_detected() {
+    let r = solve(
+        r#"
+        void main() {
+            int i = 0;
+            while (i < 10) { i = i + 3; }
+            assert(i == 10);
+        }
+    "#,
+    );
+    assert!(r.is_unsat(), "i ends at 12, not 10: {r:?}");
+}
+
+#[test]
+fn function_summary_used_at_callsite() {
+    let r = solve(
+        r#"
+        int abs(int x) {
+            if (x < 0) { return 0 - x; }
+            return x;
+        }
+        void main() {
+            int v = nondet();
+            int a = abs(v);
+            assert(a >= 0);
+        }
+    "#,
+    );
+    assert!(r.is_sat(), "{r:?}");
+}
+
+#[test]
+fn assume_constrains() {
+    let r = solve(
+        r#"
+        void main() {
+            int x = nondet();
+            assume(x > 5);
+            assert(x >= 6);
+        }
+    "#,
+    );
+    assert!(r.is_sat(), "{r:?}");
+}

@@ -1,0 +1,248 @@
+//! Normalized linear atoms.
+
+use crate::linexpr::LinExpr;
+use crate::model::Model;
+use crate::var::Var;
+use linarb_arith::BigInt;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A linear atom, kept in the normalized form `e ≤ 0` where
+/// `e = Σ aᵢ·xᵢ + c`.
+///
+/// Normalization divides the coefficients by their GCD `g` and
+/// *tightens* the constant to `⌊c/g⌋` — sound and complete over the
+/// integers. Constant expressions collapse to the canonical trivially
+/// true atom `0 ≤ 0` or trivially false atom `1 ≤ 0`.
+///
+/// Integer atoms are closed under negation:
+/// `¬(e ≤ 0)  ≡  e ≥ 1  ≡  (-e + 1) ≤ 0`.
+///
+/// ```
+/// use linarb_arith::int;
+/// use linarb_logic::{Atom, LinExpr, Var};
+/// let x = Var::from_index(0);
+/// // 2x <= 5 tightens to x <= 2
+/// let a = Atom::le(LinExpr::var(x).scale(&int(2)), LinExpr::constant(int(5)));
+/// assert_eq!(a.to_string(), "v0 - 2 <= 0");
+/// assert_eq!(a.negate().to_string(), "-v0 + 3 <= 0"); // x >= 3
+/// assert_eq!(a.negate().negate(), a);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Atom {
+    /// The expression `e` of `e ≤ 0`, normalized.
+    expr: LinExpr,
+}
+
+impl Atom {
+    /// The trivially true atom `0 ≤ 0`.
+    pub fn truth() -> Atom {
+        Atom { expr: LinExpr::zero() }
+    }
+
+    /// The trivially false atom `1 ≤ 0`.
+    pub fn falsity() -> Atom {
+        Atom { expr: LinExpr::constant(BigInt::one()) }
+    }
+
+    /// The atom `e ≤ 0`, normalized.
+    pub fn le_zero(expr: LinExpr) -> Atom {
+        if expr.is_constant() {
+            return if expr.constant_term().is_positive() {
+                Atom::falsity()
+            } else {
+                Atom::truth()
+            };
+        }
+        let g = expr.coeff_gcd();
+        debug_assert!(g.is_positive());
+        if g.is_one() {
+            return Atom { expr };
+        }
+        // (g·e' + c ≤ 0)  ⟺  (e' ≤ ⌊-c/g⌋)  ⟺  (e' - ⌊-c/g⌋ ≤ 0)
+        let c = expr.constant_term().clone();
+        let mut tight = LinExpr::from_terms(
+            expr.terms().map(|(v, a)| (v, a / &g)),
+            BigInt::zero(),
+        );
+        let bound = (-&c).div_mod_floor(&g).0;
+        tight.add_constant(&-bound);
+        Atom { expr: tight }
+    }
+
+    /// The atom `lhs ≤ rhs`.
+    pub fn le(lhs: LinExpr, rhs: LinExpr) -> Atom {
+        Atom::le_zero(&lhs - &rhs)
+    }
+
+    /// The atom `lhs ≥ rhs`.
+    pub fn ge(lhs: LinExpr, rhs: LinExpr) -> Atom {
+        Atom::le(rhs, lhs)
+    }
+
+    /// The atom `lhs < rhs` (integers: `lhs ≤ rhs - 1`).
+    pub fn lt(lhs: LinExpr, rhs: LinExpr) -> Atom {
+        let mut e = &lhs - &rhs;
+        e.add_constant(&BigInt::one());
+        Atom::le_zero(e)
+    }
+
+    /// The atom `lhs > rhs` (integers: `lhs ≥ rhs + 1`).
+    pub fn gt(lhs: LinExpr, rhs: LinExpr) -> Atom {
+        Atom::lt(rhs, lhs)
+    }
+
+    /// The *pair* of atoms whose conjunction is `lhs = rhs`.
+    pub fn eq(lhs: LinExpr, rhs: LinExpr) -> (Atom, Atom) {
+        (Atom::le(lhs.clone(), rhs.clone()), Atom::ge(lhs, rhs))
+    }
+
+    /// Convenience: `lhs = rhs` is used so often that callers may want
+    /// the conjunction directly; this returns the two-atom conjunction
+    /// as a [`Formula`](crate::Formula) via `From`.
+    pub fn eq_expr(lhs: LinExpr, rhs: LinExpr) -> crate::Formula {
+        let (a, b) = Atom::eq(lhs, rhs);
+        crate::Formula::and(vec![crate::Formula::from(a), crate::Formula::from(b)])
+    }
+
+    /// The negation `¬(e ≤ 0) ≡ (-e + 1 ≤ 0)`.
+    pub fn negate(&self) -> Atom {
+        let mut e = -&self.expr;
+        e.add_constant(&BigInt::one());
+        Atom::le_zero(e)
+    }
+
+    /// The underlying normalized expression `e` of `e ≤ 0`.
+    pub fn expr(&self) -> &LinExpr {
+        &self.expr
+    }
+
+    /// Returns `true` if the atom is the trivial truth `0 ≤ 0`.
+    pub fn is_truth(&self) -> bool {
+        self.expr.is_constant() && !self.expr.constant_term().is_positive()
+    }
+
+    /// Returns `true` if the atom is the trivial falsity `1 ≤ 0`.
+    pub fn is_falsity(&self) -> bool {
+        self.expr.is_constant() && self.expr.constant_term().is_positive()
+    }
+
+    /// Evaluates the atom under a model.
+    pub fn holds(&self, model: &Model) -> bool {
+        !self.expr.eval(model).is_positive()
+    }
+
+    /// Substitutes variables by expressions.
+    pub fn subst(&self, map: &HashMap<Var, LinExpr>) -> Atom {
+        Atom::le_zero(self.expr.subst(map))
+    }
+
+    /// Renames variables.
+    pub fn rename(&self, map: &HashMap<Var, Var>) -> Atom {
+        Atom::le_zero(self.expr.rename(map))
+    }
+
+    /// Iterates the variables mentioned.
+    pub fn vars(&self) -> impl Iterator<Item = Var> + '_ {
+        self.expr.vars()
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} <= 0", self.expr)
+    }
+}
+
+impl fmt::Debug for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use linarb_arith::int;
+
+    fn v(i: u32) -> Var {
+        Var::from_index(i)
+    }
+
+    fn x() -> LinExpr {
+        LinExpr::var(v(0))
+    }
+
+    fn c(k: i64) -> LinExpr {
+        LinExpr::constant(int(k))
+    }
+
+    #[test]
+    fn constant_atoms_collapse() {
+        assert!(Atom::le(c(3), c(5)).is_truth());
+        assert!(Atom::le(c(5), c(3)).is_falsity());
+        assert!(Atom::le(c(5), c(5)).is_truth());
+        assert!(Atom::lt(c(5), c(5)).is_falsity());
+    }
+
+    #[test]
+    fn gcd_tightening() {
+        // 2x <= 5  -->  x <= 2
+        let a = Atom::le(x().scale(&int(2)), c(5));
+        assert_eq!(a.expr().coeff(v(0)), int(1));
+        assert_eq!(a.expr().constant_term(), &int(-2));
+        // -3x <= -7  -->  -x <= -3 (x >= 3, since x >= 7/3)
+        let b = Atom::le(x().scale(&int(-3)), c(-7));
+        assert_eq!(b.expr().coeff(v(0)), int(-1));
+        assert_eq!(b.expr().constant_term(), &int(3));
+    }
+
+    #[test]
+    fn negation_is_involution_for_unit_gcd() {
+        let a = Atom::le(x(), c(4));
+        let n = a.negate();
+        // not(x <= 4) is x >= 5
+        let mut m = Model::new();
+        m.assign(v(0), int(4));
+        assert!(a.holds(&m) && !n.holds(&m));
+        m.assign(v(0), int(5));
+        assert!(!a.holds(&m) && n.holds(&m));
+        assert_eq!(n.negate(), a);
+    }
+
+    #[test]
+    fn strict_conversion() {
+        // x < 3 === x <= 2
+        let a = Atom::lt(x(), c(3));
+        let mut m = Model::new();
+        m.assign(v(0), int(2));
+        assert!(a.holds(&m));
+        m.assign(v(0), int(3));
+        assert!(!a.holds(&m));
+    }
+
+    #[test]
+    fn eq_pair_conjunction() {
+        let (le, ge) = Atom::eq(x(), c(3));
+        let mut m = Model::new();
+        m.assign(v(0), int(3));
+        assert!(le.holds(&m) && ge.holds(&m));
+        m.assign(v(0), int(4));
+        assert!(!(le.holds(&m) && ge.holds(&m)));
+    }
+
+    #[test]
+    fn holds_matches_semantics() {
+        // 2x - 3y + 1 <= 0
+        let e = LinExpr::from_terms([(v(0), int(2)), (v(1), int(-3))], int(1));
+        let a = Atom::le_zero(e);
+        for xx in -4i64..4 {
+            for yy in -4i64..4 {
+                let mut m = Model::new();
+                m.assign(v(0), int(xx));
+                m.assign(v(1), int(yy));
+                assert_eq!(a.holds(&m), 2 * xx - 3 * yy + 1 <= 0, "x={xx} y={yy}");
+            }
+        }
+    }
+}

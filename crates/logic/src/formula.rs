@@ -1,0 +1,519 @@
+//! Quantifier-free formulas over linear atoms.
+
+use crate::atom::Atom;
+use crate::linexpr::LinExpr;
+use crate::modatom::ModAtom;
+use crate::model::Model;
+use crate::var::Var;
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// A quantifier-free boolean combination of linear [`Atom`]s.
+///
+/// `Formula` is a plain tree; [`Formula::simplify`] flattens nested
+/// conjunctions/disjunctions and removes trivial subformulas, and
+/// [`Formula::nnf`] pushes negations down to the atoms (which are
+/// closed under negation over the integers).
+///
+/// ```
+/// use linarb_arith::int;
+/// use linarb_logic::{Atom, Formula, LinExpr, Model, Var};
+/// let x = Var::from_index(0);
+/// let f = Formula::or(vec![
+///     Formula::from(Atom::le(LinExpr::var(x), LinExpr::constant(int(0)))),
+///     Formula::from(Atom::ge(LinExpr::var(x), LinExpr::constant(int(10)))),
+/// ]);
+/// let mut m = Model::new();
+/// m.assign(x, int(5));
+/// assert!(!f.eval(&m));
+/// m.assign(x, int(12));
+/// assert!(f.eval(&m));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub enum Formula {
+    /// The constant `true`.
+    True,
+    /// The constant `false`.
+    False,
+    /// A linear atom.
+    Atom(Atom),
+    /// A divisibility atom `e ≡ r (mod k)`.
+    Mod(ModAtom),
+    /// N-ary conjunction.
+    And(Vec<Formula>),
+    /// N-ary disjunction.
+    Or(Vec<Formula>),
+    /// Negation.
+    Not(Box<Formula>),
+}
+
+impl Formula {
+    /// The constant `true`.
+    pub fn tru() -> Formula {
+        Formula::True
+    }
+
+    /// The constant `false`.
+    pub fn fls() -> Formula {
+        Formula::False
+    }
+
+    /// Conjunction; empty input yields `true`.
+    pub fn and(mut fs: Vec<Formula>) -> Formula {
+        if fs.iter().any(|f| matches!(f, Formula::False)) {
+            return Formula::False;
+        }
+        fs.retain(|f| !matches!(f, Formula::True));
+        match fs.len() {
+            0 => Formula::True,
+            1 => fs.pop().expect("len checked"),
+            _ => Formula::And(fs),
+        }
+    }
+
+    /// Disjunction; empty input yields `false`.
+    pub fn or(mut fs: Vec<Formula>) -> Formula {
+        if fs.iter().any(|f| matches!(f, Formula::True)) {
+            return Formula::True;
+        }
+        fs.retain(|f| !matches!(f, Formula::False));
+        match fs.len() {
+            0 => Formula::False,
+            1 => fs.pop().expect("len checked"),
+            _ => Formula::Or(fs),
+        }
+    }
+
+    /// Negation (with trivial constant folding).
+    pub fn not(f: Formula) -> Formula {
+        match f {
+            Formula::True => Formula::False,
+            Formula::False => Formula::True,
+            Formula::Not(inner) => *inner,
+            other => Formula::Not(Box::new(other)),
+        }
+    }
+
+    /// The implication `premise → conclusion` as `¬premise ∨ conclusion`.
+    pub fn implies(premise: Formula, conclusion: Formula) -> Formula {
+        Formula::or(vec![Formula::not(premise), conclusion])
+    }
+
+    /// Evaluates under a model (unassigned variables read `0`).
+    pub fn eval(&self, model: &Model) -> bool {
+        match self {
+            Formula::True => true,
+            Formula::False => false,
+            Formula::Atom(a) => a.holds(model),
+            Formula::Mod(a) => a.holds(model),
+            Formula::And(fs) => fs.iter().all(|f| f.eval(model)),
+            Formula::Or(fs) => fs.iter().any(|f| f.eval(model)),
+            Formula::Not(f) => !f.eval(model),
+        }
+    }
+
+    /// Negation normal form: negations are pushed into the atoms.
+    /// The result contains no [`Formula::Not`] nodes.
+    pub fn nnf(&self) -> Formula {
+        fn go(f: &Formula, neg: bool) -> Formula {
+            match (f, neg) {
+                (Formula::True, false) | (Formula::False, true) => Formula::True,
+                (Formula::True, true) | (Formula::False, false) => Formula::False,
+                (Formula::Atom(a), false) => Formula::Atom(a.clone()),
+                (Formula::Atom(a), true) => Formula::Atom(a.negate()),
+                (Formula::Mod(a), false) => Formula::Mod(a.clone()),
+                (Formula::Mod(a), true) => Formula::or(
+                    a.complement().into_iter().map(Formula::Mod).collect(),
+                ),
+                (Formula::And(fs), false) => {
+                    Formula::and(fs.iter().map(|f| go(f, false)).collect())
+                }
+                (Formula::And(fs), true) => {
+                    Formula::or(fs.iter().map(|f| go(f, true)).collect())
+                }
+                (Formula::Or(fs), false) => {
+                    Formula::or(fs.iter().map(|f| go(f, false)).collect())
+                }
+                (Formula::Or(fs), true) => {
+                    Formula::and(fs.iter().map(|f| go(f, true)).collect())
+                }
+                (Formula::Not(inner), n) => go(inner, !n),
+            }
+        }
+        go(self, false)
+    }
+
+    /// Flattens nested and/or nodes, removes duplicate children and
+    /// trivial constants. Purely structural; no theory reasoning.
+    pub fn simplify(&self) -> Formula {
+        match self {
+            Formula::True | Formula::False | Formula::Atom(_) | Formula::Mod(_) => self.clone(),
+            Formula::Not(f) => Formula::not(f.simplify()),
+            Formula::And(fs) => {
+                let mut out: Vec<Formula> = Vec::new();
+                let mut seen = HashSet::new();
+                for f in fs {
+                    match f.simplify() {
+                        Formula::True => {}
+                        Formula::False => return Formula::False,
+                        Formula::And(inner) => {
+                            for g in inner {
+                                if seen.insert(g.clone()) {
+                                    out.push(g);
+                                }
+                            }
+                        }
+                        g => {
+                            if seen.insert(g.clone()) {
+                                out.push(g);
+                            }
+                        }
+                    }
+                }
+                Formula::and(out)
+            }
+            Formula::Or(fs) => {
+                let mut out: Vec<Formula> = Vec::new();
+                let mut seen = HashSet::new();
+                for f in fs {
+                    match f.simplify() {
+                        Formula::False => {}
+                        Formula::True => return Formula::True,
+                        Formula::Or(inner) => {
+                            for g in inner {
+                                if seen.insert(g.clone()) {
+                                    out.push(g);
+                                }
+                            }
+                        }
+                        g => {
+                            if seen.insert(g.clone()) {
+                                out.push(g);
+                            }
+                        }
+                    }
+                }
+                Formula::or(out)
+            }
+        }
+    }
+
+    /// Collects the distinct atoms appearing in the formula, in
+    /// first-occurrence order (negations are *not* pushed first).
+    pub fn atoms(&self) -> Vec<Atom> {
+        let mut out = Vec::new();
+        let mut seen = HashSet::new();
+        fn walk(f: &Formula, seen: &mut HashSet<Atom>, out: &mut Vec<Atom>) {
+            match f {
+                Formula::Atom(a) => {
+                    if seen.insert(a.clone()) {
+                        out.push(a.clone());
+                    }
+                }
+                Formula::And(fs) | Formula::Or(fs) => {
+                    for g in fs {
+                        walk(g, seen, out);
+                    }
+                }
+                Formula::Not(g) => walk(g, seen, out),
+                _ => {}
+            }
+        }
+        walk(self, &mut seen, &mut out);
+        out
+    }
+
+    /// Collects the distinct divisibility atoms appearing in the
+    /// formula, in first-occurrence order.
+    pub fn mod_atoms(&self) -> Vec<ModAtom> {
+        let mut out = Vec::new();
+        let mut seen = HashSet::new();
+        fn walk(f: &Formula, seen: &mut HashSet<ModAtom>, out: &mut Vec<ModAtom>) {
+            match f {
+                Formula::Mod(a) => {
+                    if seen.insert(a.clone()) {
+                        out.push(a.clone());
+                    }
+                }
+                Formula::And(fs) | Formula::Or(fs) => {
+                    for g in fs {
+                        walk(g, seen, out);
+                    }
+                }
+                Formula::Not(g) => walk(g, seen, out),
+                _ => {}
+            }
+        }
+        walk(self, &mut seen, &mut out);
+        out
+    }
+
+    /// Collects the free variables.
+    pub fn vars(&self) -> HashSet<Var> {
+        let mut out = HashSet::new();
+        for a in self.atoms() {
+            out.extend(a.vars());
+        }
+        for a in self.mod_atoms() {
+            out.extend(a.vars());
+        }
+        out
+    }
+
+    /// Substitutes variables by linear expressions.
+    pub fn subst(&self, map: &HashMap<Var, LinExpr>) -> Formula {
+        match self {
+            Formula::True => Formula::True,
+            Formula::False => Formula::False,
+            Formula::Atom(a) => {
+                let s = a.subst(map);
+                if s.is_truth() {
+                    Formula::True
+                } else if s.is_falsity() {
+                    Formula::False
+                } else {
+                    Formula::Atom(s)
+                }
+            }
+            Formula::Mod(a) => {
+                let s = a.subst(map);
+                match s.const_value() {
+                    Some(true) => Formula::True,
+                    Some(false) => Formula::False,
+                    None => Formula::Mod(s),
+                }
+            }
+            Formula::And(fs) => Formula::and(fs.iter().map(|f| f.subst(map)).collect()),
+            Formula::Or(fs) => Formula::or(fs.iter().map(|f| f.subst(map)).collect()),
+            Formula::Not(f) => Formula::not(f.subst(map)),
+        }
+    }
+
+    /// Renames variables.
+    pub fn rename(&self, map: &HashMap<Var, Var>) -> Formula {
+        let exprs: HashMap<Var, LinExpr> =
+            map.iter().map(|(k, v)| (*k, LinExpr::var(*v))).collect();
+        self.subst(&exprs)
+    }
+
+    /// Converts to disjunctive normal form as a list of cubes (each
+    /// cube a conjunction of atoms). Returns `None` if the number of
+    /// cubes would exceed `limit` — DNF can blow up exponentially.
+    pub fn to_dnf(&self, limit: usize) -> Option<Vec<Vec<Atom>>> {
+        fn go(f: &Formula, limit: usize) -> Option<Vec<Vec<Atom>>> {
+            match f {
+                Formula::True => Some(vec![Vec::new()]),
+                Formula::False => Some(Vec::new()),
+                Formula::Atom(a) => Some(vec![vec![a.clone()]]),
+                Formula::Mod(_) => None,
+                Formula::Or(fs) => {
+                    let mut cubes = Vec::new();
+                    for g in fs {
+                        cubes.extend(go(g, limit)?);
+                        if cubes.len() > limit {
+                            return None;
+                        }
+                    }
+                    Some(cubes)
+                }
+                Formula::And(fs) => {
+                    let mut cubes: Vec<Vec<Atom>> = vec![Vec::new()];
+                    for g in fs {
+                        let sub = go(g, limit)?;
+                        let mut next = Vec::new();
+                        for c in &cubes {
+                            for s in &sub {
+                                let mut merged = c.clone();
+                                merged.extend(s.iter().cloned());
+                                next.push(merged);
+                                if next.len() > limit {
+                                    return None;
+                                }
+                            }
+                        }
+                        cubes = next;
+                    }
+                    Some(cubes)
+                }
+                Formula::Not(_) => unreachable!("to_dnf runs on NNF"),
+            }
+        }
+        go(&self.nnf(), limit)
+    }
+
+    /// Size of the formula tree (number of nodes); a rough complexity
+    /// measure used by tests and benchmarks.
+    pub fn size(&self) -> usize {
+        match self {
+            Formula::True | Formula::False | Formula::Atom(_) | Formula::Mod(_) => 1,
+            Formula::And(fs) | Formula::Or(fs) => 1 + fs.iter().map(Formula::size).sum::<usize>(),
+            Formula::Not(f) => 1 + f.size(),
+        }
+    }
+}
+
+impl From<ModAtom> for Formula {
+    fn from(a: ModAtom) -> Formula {
+        match a.const_value() {
+            Some(true) => Formula::True,
+            Some(false) => Formula::False,
+            None => Formula::Mod(a),
+        }
+    }
+}
+
+impl From<Atom> for Formula {
+    fn from(a: Atom) -> Formula {
+        if a.is_truth() {
+            Formula::True
+        } else if a.is_falsity() {
+            Formula::False
+        } else {
+            Formula::Atom(a)
+        }
+    }
+}
+
+impl fmt::Display for Formula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Formula::True => write!(f, "true"),
+            Formula::False => write!(f, "false"),
+            Formula::Atom(a) => write!(f, "({a})"),
+            Formula::Mod(a) => write!(f, "({a})"),
+            Formula::And(fs) => {
+                write!(f, "(and")?;
+                for g in fs {
+                    write!(f, " {g}")?;
+                }
+                write!(f, ")")
+            }
+            Formula::Or(fs) => {
+                write!(f, "(or")?;
+                for g in fs {
+                    write!(f, " {g}")?;
+                }
+                write!(f, ")")
+            }
+            Formula::Not(g) => write!(f, "(not {g})"),
+        }
+    }
+}
+
+impl fmt::Debug for Formula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use linarb_arith::int;
+
+    fn v(i: u32) -> Var {
+        Var::from_index(i)
+    }
+
+    fn le(i: u32, k: i64) -> Formula {
+        Formula::from(Atom::le(LinExpr::var(v(i)), LinExpr::constant(int(k))))
+    }
+
+    #[test]
+    fn constructors_fold_constants() {
+        assert_eq!(Formula::and(vec![]), Formula::True);
+        assert_eq!(Formula::or(vec![]), Formula::False);
+        assert_eq!(Formula::and(vec![Formula::True, le(0, 1)]), le(0, 1));
+        assert_eq!(Formula::and(vec![Formula::False, le(0, 1)]), Formula::False);
+        assert_eq!(Formula::or(vec![Formula::True, le(0, 1)]), Formula::True);
+        assert_eq!(Formula::not(Formula::not(le(0, 1))), le(0, 1));
+    }
+
+    #[test]
+    fn nnf_eliminates_not() {
+        let f = Formula::not(Formula::and(vec![le(0, 1), Formula::not(le(1, 2))]));
+        let g = f.nnf();
+        fn has_not(f: &Formula) -> bool {
+            match f {
+                Formula::Not(_) => true,
+                Formula::And(fs) | Formula::Or(fs) => fs.iter().any(has_not),
+                _ => false,
+            }
+        }
+        assert!(!has_not(&g));
+        // semantics preserved on a grid
+        for x in -3i64..4 {
+            for y in -3i64..4 {
+                let mut m = Model::new();
+                m.assign(v(0), int(x));
+                m.assign(v(1), int(y));
+                assert_eq!(f.eval(&m), g.eval(&m), "x={x} y={y}");
+            }
+        }
+    }
+
+    #[test]
+    fn simplify_flattens_and_dedups() {
+        let f = Formula::And(vec![
+            le(0, 1),
+            Formula::And(vec![le(0, 1), le(1, 2)]),
+            Formula::True,
+        ]);
+        let s = f.simplify();
+        assert_eq!(s, Formula::And(vec![le(0, 1), le(1, 2)]));
+    }
+
+    #[test]
+    fn implies_semantics() {
+        let f = Formula::implies(le(0, 0), le(1, 0));
+        let mut m = Model::new();
+        m.assign(v(0), int(5)); // premise false
+        m.assign(v(1), int(5));
+        assert!(f.eval(&m));
+        m.assign(v(0), int(0)); // premise true, conclusion false
+        assert!(!f.eval(&m));
+        m.assign(v(1), int(0)); // both true
+        assert!(f.eval(&m));
+    }
+
+    #[test]
+    fn dnf_shapes() {
+        // (a or b) and c  -> two cubes
+        let f = Formula::and(vec![Formula::or(vec![le(0, 0), le(1, 0)]), le(2, 0)]);
+        let cubes = f.to_dnf(16).unwrap();
+        assert_eq!(cubes.len(), 2);
+        assert!(cubes.iter().all(|c| c.len() == 2));
+        assert_eq!(Formula::fls().to_dnf(16).unwrap().len(), 0);
+        assert_eq!(Formula::tru().to_dnf(16).unwrap(), vec![Vec::new()]);
+    }
+
+    #[test]
+    fn dnf_respects_limit() {
+        // (a1 or b1) and ... and (a12 or b12) has 4096 cubes
+        let mut fs = Vec::new();
+        for i in 0..12 {
+            fs.push(Formula::or(vec![le(2 * i, 0), le(2 * i + 1, 0)]));
+        }
+        let f = Formula::and(fs);
+        assert!(f.to_dnf(100).is_none());
+        assert!(f.to_dnf(5000).is_some());
+    }
+
+    #[test]
+    fn subst_folds_constants() {
+        let f = le(0, 1); // x <= 1
+        let mut map = HashMap::new();
+        map.insert(v(0), LinExpr::constant(int(0)));
+        assert_eq!(f.subst(&map), Formula::True);
+        map.insert(v(0), LinExpr::constant(int(2)));
+        assert_eq!(f.subst(&map), Formula::False);
+    }
+
+    #[test]
+    fn vars_collects() {
+        let f = Formula::and(vec![le(0, 1), le(3, 0)]);
+        let vs = f.vars();
+        assert!(vs.contains(&v(0)) && vs.contains(&v(3)));
+        assert_eq!(vs.len(), 2);
+    }
+}

@@ -1,0 +1,344 @@
+//! Linear expressions over integer variables.
+
+use crate::model::Model;
+use crate::var::Var;
+use linarb_arith::BigInt;
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// A linear expression `Σ aᵢ·xᵢ + c` with exact integer coefficients.
+///
+/// The representation is canonical: zero coefficients are never stored,
+/// so structural equality is semantic equality.
+///
+/// ```
+/// use linarb_arith::int;
+/// use linarb_logic::{LinExpr, Var};
+/// let x = Var::from_index(0);
+/// let y = Var::from_index(1);
+/// let e = LinExpr::var(x).scale(&int(2)) + LinExpr::var(y) + LinExpr::constant(int(-3));
+/// assert_eq!(e.coeff(x), int(2));
+/// assert_eq!(e.constant_term(), &int(-3));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct LinExpr {
+    terms: BTreeMap<Var, BigInt>,
+    konst: BigInt,
+}
+
+impl LinExpr {
+    /// The zero expression.
+    pub fn zero() -> LinExpr {
+        LinExpr::default()
+    }
+
+    /// A constant expression.
+    pub fn constant(c: BigInt) -> LinExpr {
+        LinExpr { terms: BTreeMap::new(), konst: c }
+    }
+
+    /// The expression `1·v`.
+    pub fn var(v: Var) -> LinExpr {
+        LinExpr::term(v, BigInt::one())
+    }
+
+    /// The expression `coeff·v`.
+    pub fn term(v: Var, coeff: BigInt) -> LinExpr {
+        let mut terms = BTreeMap::new();
+        if !coeff.is_zero() {
+            terms.insert(v, coeff);
+        }
+        LinExpr { terms, konst: BigInt::zero() }
+    }
+
+    /// Builds an expression from `(variable, coefficient)` pairs plus a
+    /// constant; repeated variables are summed.
+    pub fn from_terms<I: IntoIterator<Item = (Var, BigInt)>>(pairs: I, konst: BigInt) -> LinExpr {
+        let mut e = LinExpr::constant(konst);
+        for (v, c) in pairs {
+            e.add_term(v, &c);
+        }
+        e
+    }
+
+    /// Adds `coeff·v` in place.
+    pub fn add_term(&mut self, v: Var, coeff: &BigInt) {
+        if coeff.is_zero() {
+            return;
+        }
+        let entry = self.terms.entry(v).or_insert_with(BigInt::zero);
+        *entry = &*entry + coeff;
+        if entry.is_zero() {
+            self.terms.remove(&v);
+        }
+    }
+
+    /// Adds a constant in place.
+    pub fn add_constant(&mut self, c: &BigInt) {
+        self.konst = &self.konst + c;
+    }
+
+    /// The coefficient of `v` (zero if absent).
+    pub fn coeff(&self, v: Var) -> BigInt {
+        self.terms.get(&v).cloned().unwrap_or_else(BigInt::zero)
+    }
+
+    /// The constant term.
+    pub fn constant_term(&self) -> &BigInt {
+        &self.konst
+    }
+
+    /// Iterates over `(variable, coefficient)` pairs in variable order.
+    pub fn terms(&self) -> impl Iterator<Item = (Var, &BigInt)> + '_ {
+        self.terms.iter().map(|(v, c)| (*v, c))
+    }
+
+    /// Number of variables with non-zero coefficient.
+    pub fn num_terms(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Returns `true` if the expression mentions no variables.
+    pub fn is_constant(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Iterates the variables mentioned.
+    pub fn vars(&self) -> impl Iterator<Item = Var> + '_ {
+        self.terms.keys().copied()
+    }
+
+    /// Multiplies every coefficient and the constant by `k`.
+    pub fn scale(&self, k: &BigInt) -> LinExpr {
+        if k.is_zero() {
+            return LinExpr::zero();
+        }
+        LinExpr {
+            terms: self.terms.iter().map(|(v, c)| (*v, c * k)).collect(),
+            konst: &self.konst * k,
+        }
+    }
+
+    /// Evaluates under a model; unassigned variables default to `0`.
+    pub fn eval(&self, model: &Model) -> BigInt {
+        let mut acc = self.konst.clone();
+        for (v, c) in &self.terms {
+            acc = &acc + &(c * &model.value(*v));
+        }
+        acc
+    }
+
+    /// Substitutes variables by expressions. Variables without a
+    /// mapping are left in place.
+    pub fn subst(&self, map: &HashMap<Var, LinExpr>) -> LinExpr {
+        let mut out = LinExpr::constant(self.konst.clone());
+        for (v, c) in &self.terms {
+            match map.get(v) {
+                Some(e) => out = &out + &e.scale(c),
+                None => out.add_term(*v, c),
+            }
+        }
+        out
+    }
+
+    /// Renames variables through `map`; unmapped variables are kept.
+    pub fn rename(&self, map: &HashMap<Var, Var>) -> LinExpr {
+        LinExpr {
+            terms: self
+                .terms
+                .iter()
+                .map(|(v, c)| (*map.get(v).unwrap_or(v), c.clone()))
+                .fold(BTreeMap::new(), |mut m, (v, c)| {
+                    let e = m.entry(v).or_insert_with(BigInt::zero);
+                    *e = &*e + &c;
+                    if e.is_zero() {
+                        m.remove(&v);
+                    }
+                    m
+                }),
+            konst: self.konst.clone(),
+        }
+    }
+
+    /// GCD of the variable coefficients (zero if constant).
+    pub fn coeff_gcd(&self) -> BigInt {
+        self.terms
+            .values()
+            .fold(BigInt::zero(), |g, c| BigInt::gcd(&g, c))
+    }
+}
+
+impl fmt::Display for LinExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (v, c) in &self.terms {
+            if first {
+                if c.is_one() {
+                    write!(f, "{v}")?;
+                } else if *c == BigInt::minus_one() {
+                    write!(f, "-{v}")?;
+                } else {
+                    write!(f, "{c}*{v}")?;
+                }
+                first = false;
+            } else if c.is_negative() {
+                let a = c.abs();
+                if a.is_one() {
+                    write!(f, " - {v}")?;
+                } else {
+                    write!(f, " - {a}*{v}")?;
+                }
+            } else if c.is_one() {
+                write!(f, " + {v}")?;
+            } else {
+                write!(f, " + {c}*{v}")?;
+            }
+        }
+        if first {
+            write!(f, "{}", self.konst)?;
+        } else if self.konst.is_positive() {
+            write!(f, " + {}", self.konst)?;
+        } else if self.konst.is_negative() {
+            write!(f, " - {}", self.konst.abs())?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for LinExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl Add for &LinExpr {
+    type Output = LinExpr;
+    fn add(self, rhs: &LinExpr) -> LinExpr {
+        let mut out = self.clone();
+        out.konst = &out.konst + &rhs.konst;
+        for (v, c) in &rhs.terms {
+            out.add_term(*v, c);
+        }
+        out
+    }
+}
+
+impl Sub for &LinExpr {
+    type Output = LinExpr;
+    fn sub(self, rhs: &LinExpr) -> LinExpr {
+        self + &(-rhs)
+    }
+}
+
+impl Neg for &LinExpr {
+    type Output = LinExpr;
+    fn neg(self) -> LinExpr {
+        self.scale(&BigInt::minus_one())
+    }
+}
+
+impl Neg for LinExpr {
+    type Output = LinExpr;
+    fn neg(self) -> LinExpr {
+        -&self
+    }
+}
+
+impl Add for LinExpr {
+    type Output = LinExpr;
+    fn add(self, rhs: LinExpr) -> LinExpr {
+        &self + &rhs
+    }
+}
+
+impl Sub for LinExpr {
+    type Output = LinExpr;
+    fn sub(self, rhs: LinExpr) -> LinExpr {
+        &self - &rhs
+    }
+}
+
+impl Mul<&BigInt> for &LinExpr {
+    type Output = LinExpr;
+    fn mul(self, k: &BigInt) -> LinExpr {
+        self.scale(k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use linarb_arith::int;
+
+    fn v(i: u32) -> Var {
+        Var::from_index(i)
+    }
+
+    #[test]
+    fn canonical_zero_coeffs() {
+        let e = LinExpr::from_terms([(v(0), int(2)), (v(0), int(-2))], int(5));
+        assert!(e.is_constant());
+        assert_eq!(e, LinExpr::constant(int(5)));
+    }
+
+    #[test]
+    fn add_sub_scale() {
+        let e = LinExpr::from_terms([(v(0), int(1)), (v(1), int(2))], int(3));
+        let f = LinExpr::from_terms([(v(0), int(-1)), (v(2), int(1))], int(-3));
+        let sum = &e + &f;
+        assert_eq!(sum.coeff(v(0)), int(0));
+        assert_eq!(sum.coeff(v(1)), int(2));
+        assert_eq!(sum.coeff(v(2)), int(1));
+        assert_eq!(sum.constant_term(), &int(0));
+        assert_eq!((&e - &e), LinExpr::zero());
+        assert_eq!(e.scale(&int(0)), LinExpr::zero());
+        assert_eq!(e.scale(&int(-2)).coeff(v(1)), int(-4));
+    }
+
+    #[test]
+    fn eval_default_zero() {
+        let e = LinExpr::from_terms([(v(0), int(2)), (v(1), int(-1))], int(7));
+        let mut m = Model::new();
+        m.assign(v(0), int(3));
+        assert_eq!(e.eval(&m), int(13)); // 2*3 - 0 + 7
+        m.assign(v(1), int(5));
+        assert_eq!(e.eval(&m), int(8));
+    }
+
+    #[test]
+    fn subst_composes() {
+        // e = x + 2y, substitute x := y - 1 gives 3y - 1
+        let e = LinExpr::from_terms([(v(0), int(1)), (v(1), int(2))], int(0));
+        let mut map = HashMap::new();
+        map.insert(v(0), LinExpr::from_terms([(v(1), int(1))], int(-1)));
+        let s = e.subst(&map);
+        assert_eq!(s.coeff(v(1)), int(3));
+        assert_eq!(s.constant_term(), &int(-1));
+    }
+
+    #[test]
+    fn rename_merges() {
+        // x + y with both renamed to z merges coefficients
+        let e = LinExpr::from_terms([(v(0), int(1)), (v(1), int(1))], int(0));
+        let map: HashMap<Var, Var> = [(v(0), v(9)), (v(1), v(9))].into_iter().collect();
+        let r = e.rename(&map);
+        assert_eq!(r.coeff(v(9)), int(2));
+        assert_eq!(r.num_terms(), 1);
+    }
+
+    #[test]
+    fn display_pretty() {
+        let e = LinExpr::from_terms([(v(0), int(1)), (v(1), int(-3))], int(2));
+        assert_eq!(e.to_string(), "v0 - 3*v1 + 2");
+        assert_eq!(LinExpr::zero().to_string(), "0");
+        assert_eq!(LinExpr::constant(int(-4)).to_string(), "-4");
+    }
+
+    #[test]
+    fn coeff_gcd() {
+        let e = LinExpr::from_terms([(v(0), int(4)), (v(1), int(-6))], int(3));
+        assert_eq!(e.coeff_gcd(), int(2));
+        assert_eq!(LinExpr::constant(int(3)).coeff_gcd(), int(0));
+    }
+}

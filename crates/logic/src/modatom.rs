@@ -1,0 +1,177 @@
+//! Divisibility atoms: `expr ≡ residue (mod modulus)`.
+//!
+//! Linear integer arithmetic cannot express "x is even" as a single
+//! linear atom, but the paper's decision-tree layer uses `mod`
+//! features (§3.3, *Beyond Polyhedra*), so learned invariants may
+//! contain congruences. [`ModAtom`] carries them through the formula
+//! language; the SMT layer lowers them to fresh quotient/remainder
+//! variables before solving (sound for satisfiability checks, which is
+//! the only way formulas are ever discharged).
+
+use crate::linexpr::LinExpr;
+use crate::model::Model;
+use crate::var::Var;
+use linarb_arith::BigInt;
+use std::collections::HashMap;
+use std::fmt;
+
+/// The congruence `expr ≡ residue (mod modulus)` with
+/// `modulus ≥ 2` and `0 ≤ residue < modulus`.
+///
+/// ```
+/// use linarb_arith::int;
+/// use linarb_logic::{LinExpr, Model, ModAtom, Var};
+/// let x = Var::from_index(0);
+/// let even = ModAtom::new(LinExpr::var(x), int(2), int(0));
+/// let mut m = Model::new();
+/// m.assign(x, int(-4));
+/// assert!(even.holds(&m));
+/// m.assign(x, int(7));
+/// assert!(!even.holds(&m));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct ModAtom {
+    expr: LinExpr,
+    modulus: BigInt,
+    residue: BigInt,
+}
+
+impl ModAtom {
+    /// Creates a congruence; the residue is normalized into
+    /// `[0, modulus)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `modulus < 2`.
+    pub fn new(expr: LinExpr, modulus: BigInt, residue: BigInt) -> ModAtom {
+        assert!(modulus >= BigInt::from(2), "modulus must be at least 2");
+        let residue = residue.mod_floor(&modulus);
+        ModAtom { expr, modulus, residue }
+    }
+
+    /// The left-hand expression.
+    pub fn expr(&self) -> &LinExpr {
+        &self.expr
+    }
+
+    /// The modulus (`≥ 2`).
+    pub fn modulus(&self) -> &BigInt {
+        &self.modulus
+    }
+
+    /// The residue, in `[0, modulus)`.
+    pub fn residue(&self) -> &BigInt {
+        &self.residue
+    }
+
+    /// Evaluates under a model.
+    pub fn holds(&self, model: &Model) -> bool {
+        self.expr.eval(model).mod_floor(&self.modulus) == self.residue
+    }
+
+    /// Substitutes variables by expressions.
+    pub fn subst(&self, map: &HashMap<Var, LinExpr>) -> ModAtom {
+        ModAtom::new(self.expr.subst(map), self.modulus.clone(), self.residue.clone())
+    }
+
+    /// The congruences asserting every *other* residue — the finite
+    /// expansion of this atom's negation.
+    pub fn complement(&self) -> Vec<ModAtom> {
+        let mut out = Vec::new();
+        let mut r = BigInt::zero();
+        while r < self.modulus {
+            if r != self.residue {
+                out.push(ModAtom {
+                    expr: self.expr.clone(),
+                    modulus: self.modulus.clone(),
+                    residue: r.clone(),
+                });
+            }
+            r = &r + &BigInt::one();
+        }
+        out
+    }
+
+    /// Returns `Some(truth value)` if the expression is constant.
+    pub fn const_value(&self) -> Option<bool> {
+        if self.expr.is_constant() {
+            Some(self.expr.constant_term().mod_floor(&self.modulus) == self.residue)
+        } else {
+            None
+        }
+    }
+
+    /// Iterates the variables mentioned.
+    pub fn vars(&self) -> impl Iterator<Item = Var> + '_ {
+        self.expr.vars()
+    }
+}
+
+impl fmt::Display for ModAtom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} mod {} = {}", self.expr, self.modulus, self.residue)
+    }
+}
+
+impl fmt::Debug for ModAtom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use linarb_arith::int;
+
+    fn x() -> LinExpr {
+        LinExpr::var(Var::from_index(0))
+    }
+
+    #[test]
+    fn residue_normalized() {
+        let a = ModAtom::new(x(), int(3), int(-1));
+        assert_eq!(a.residue(), &int(2));
+        let b = ModAtom::new(x(), int(3), int(7));
+        assert_eq!(b.residue(), &int(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "modulus must be at least 2")]
+    fn small_modulus_rejected() {
+        let _ = ModAtom::new(x(), int(1), int(0));
+    }
+
+    #[test]
+    fn holds_matches_mod_floor() {
+        let a = ModAtom::new(x(), int(2), int(0));
+        for v in -5i64..=5 {
+            let mut m = Model::new();
+            m.assign(Var::from_index(0), int(v));
+            assert_eq!(a.holds(&m), v.rem_euclid(2) == 0, "v={v}");
+        }
+    }
+
+    #[test]
+    fn complement_partitions() {
+        let a = ModAtom::new(x(), int(3), int(1));
+        let comp = a.complement();
+        assert_eq!(comp.len(), 2);
+        for v in -4i64..=4 {
+            let mut m = Model::new();
+            m.assign(Var::from_index(0), int(v));
+            let in_a = a.holds(&m);
+            let in_comp = comp.iter().any(|c| c.holds(&m));
+            assert!(in_a != in_comp, "exactly one side must hold at v={v}");
+        }
+    }
+
+    #[test]
+    fn const_folding() {
+        let a = ModAtom::new(LinExpr::constant(int(4)), int(2), int(0));
+        assert_eq!(a.const_value(), Some(true));
+        let b = ModAtom::new(LinExpr::constant(int(5)), int(2), int(0));
+        assert_eq!(b.const_value(), Some(false));
+        assert_eq!(ModAtom::new(x(), int(2), int(0)).const_value(), None);
+    }
+}

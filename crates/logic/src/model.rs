@@ -1,0 +1,121 @@
+//! Models: assignments of integer values to variables.
+
+use crate::var::Var;
+use linarb_arith::BigInt;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A (partial) assignment of integer values to variables.
+///
+/// Variables with no explicit value read as `0`; this matches the
+/// convention that SMT models may leave don't-care variables
+/// unassigned.
+///
+/// ```
+/// use linarb_arith::int;
+/// use linarb_logic::{Model, Var};
+/// let mut m = Model::new();
+/// m.assign(Var::from_index(0), int(7));
+/// assert_eq!(m.value(Var::from_index(0)), int(7));
+/// assert_eq!(m.value(Var::from_index(1)), int(0));
+/// ```
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct Model {
+    values: HashMap<Var, BigInt>,
+}
+
+impl Model {
+    /// An empty model (everything reads as `0`).
+    pub fn new() -> Model {
+        Model::default()
+    }
+
+    /// Assigns `value` to `var`, returning the previous value if set.
+    pub fn assign(&mut self, var: Var, value: BigInt) -> Option<BigInt> {
+        self.values.insert(var, value)
+    }
+
+    /// The value of `var` (`0` when unassigned).
+    pub fn value(&self, var: Var) -> BigInt {
+        self.values.get(&var).cloned().unwrap_or_else(BigInt::zero)
+    }
+
+    /// The value of `var`, or `None` if unassigned.
+    pub fn get(&self, var: Var) -> Option<&BigInt> {
+        self.values.get(&var)
+    }
+
+    /// Number of explicitly assigned variables.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Returns `true` if no variable is explicitly assigned.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Iterates over `(variable, value)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (Var, &BigInt)> + '_ {
+        self.values.iter().map(|(v, x)| (*v, x))
+    }
+}
+
+impl FromIterator<(Var, BigInt)> for Model {
+    fn from_iter<I: IntoIterator<Item = (Var, BigInt)>>(iter: I) -> Model {
+        Model { values: iter.into_iter().collect() }
+    }
+}
+
+impl Extend<(Var, BigInt)> for Model {
+    fn extend<I: IntoIterator<Item = (Var, BigInt)>>(&mut self, iter: I) {
+        self.values.extend(iter);
+    }
+}
+
+impl fmt::Debug for Model {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut entries: Vec<_> = self.values.iter().collect();
+        entries.sort_by_key(|(v, _)| **v);
+        write!(f, "{{")?;
+        for (i, (v, x)) in entries.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}={x}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use linarb_arith::int;
+
+    #[test]
+    fn default_is_zero() {
+        let m = Model::new();
+        assert!(m.is_empty());
+        assert_eq!(m.value(Var::from_index(42)), int(0));
+        assert_eq!(m.get(Var::from_index(42)), None);
+    }
+
+    #[test]
+    fn assign_and_overwrite() {
+        let mut m = Model::new();
+        assert_eq!(m.assign(Var::from_index(0), int(1)), None);
+        assert_eq!(m.assign(Var::from_index(0), int(2)), Some(int(1)));
+        assert_eq!(m.value(Var::from_index(0)), int(2));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn debug_is_sorted_nonempty() {
+        let mut m = Model::new();
+        m.assign(Var::from_index(1), int(-1));
+        m.assign(Var::from_index(0), int(3));
+        assert_eq!(format!("{m:?}"), "{v0=3, v1=-1}");
+        assert_eq!(format!("{:?}", Model::new()), "{}");
+    }
+}

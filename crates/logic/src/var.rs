@@ -1,0 +1,55 @@
+//! First-order variables.
+
+use std::fmt;
+
+/// An integer-sorted first-order variable, identified by a dense index.
+///
+/// Variables are created through [`ChcSystem::fresh_var`](crate::ChcSystem::fresh_var) (or any other
+/// context that hands out fresh indices); the index is the identity.
+/// Human-readable names live in the owning [`ChcSystem`](crate::ChcSystem)'s name table —
+/// a bare `Var` displays as `v{index}`.
+///
+/// ```
+/// use linarb_logic::Var;
+/// let v = Var::from_index(3);
+/// assert_eq!(v.to_string(), "v3");
+/// assert_eq!(v.index(), 3);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(u32);
+
+impl Var {
+    /// Creates a variable with the given raw index.
+    pub fn from_index(index: u32) -> Var {
+        Var(index)
+    }
+
+    /// The raw index of this variable.
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Debug for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_is_index() {
+        assert_eq!(Var::from_index(0), Var::from_index(0));
+        assert_ne!(Var::from_index(0), Var::from_index(1));
+        assert!(Var::from_index(0) < Var::from_index(1));
+    }
+}

@@ -1,0 +1,118 @@
+//! Property tests for the logic IR: structural transformations
+//! (NNF, simplify, DNF, substitution) preserve semantics on random
+//! formulas over a brute-force evaluation grid.
+
+use linarb_arith::int;
+use linarb_logic::{Atom, Formula, LinExpr, Model, Var};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+const NVARS: u32 = 3;
+const GRID: i64 = 3;
+
+fn arb_formula() -> impl Strategy<Value = Formula> {
+    let atom = (
+        prop::collection::vec(-3i64..=3, NVARS as usize),
+        -5i64..=5,
+    )
+        .prop_map(|(w, c)| {
+            let e = LinExpr::from_terms(
+                w.into_iter()
+                    .enumerate()
+                    .map(|(i, a)| (Var::from_index(i as u32), int(a))),
+                int(0),
+            );
+            Formula::from(Atom::le(e, LinExpr::constant(int(c))))
+        });
+    atom.prop_recursive(3, 20, 3, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 1..3).prop_map(Formula::and),
+            prop::collection::vec(inner.clone(), 1..3).prop_map(Formula::or),
+            inner.prop_map(Formula::not),
+        ]
+    })
+}
+
+fn for_all_grid(check: impl Fn(&Model) -> bool) -> bool {
+    for x in -GRID..=GRID {
+        for y in -GRID..=GRID {
+            for z in -GRID..=GRID {
+                let m: Model = [(0u32, x), (1, y), (2, z)]
+                    .into_iter()
+                    .map(|(i, v)| (Var::from_index(i), int(v)))
+                    .collect();
+                if !check(&m) {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn nnf_preserves_semantics(f in arb_formula()) {
+        let g = f.nnf();
+        prop_assert!(for_all_grid(|m| f.eval(m) == g.eval(m)), "{f} vs {g}");
+    }
+
+    #[test]
+    fn simplify_preserves_semantics(f in arb_formula()) {
+        let g = f.simplify();
+        prop_assert!(for_all_grid(|m| f.eval(m) == g.eval(m)), "{f} vs {g}");
+        prop_assert!(g.size() <= f.size(), "simplify must not grow the formula");
+    }
+
+    #[test]
+    fn dnf_preserves_semantics(f in arb_formula()) {
+        if let Some(cubes) = f.to_dnf(256) {
+            let g = Formula::or(
+                cubes
+                    .into_iter()
+                    .map(|c| Formula::and(c.into_iter().map(Formula::from).collect()))
+                    .collect(),
+            );
+            prop_assert!(for_all_grid(|m| f.eval(m) == g.eval(m)), "{f} vs {g}");
+        }
+    }
+
+    #[test]
+    fn atom_negation_complements(f in arb_formula()) {
+        for a in f.atoms() {
+            let n = a.negate();
+            prop_assert!(for_all_grid(|m| a.holds(m) != n.holds(m)));
+            prop_assert_eq!(n.negate(), a);
+        }
+    }
+
+    #[test]
+    fn constant_substitution_matches_eval(f in arb_formula(), x in -3i64..=3, y in -3i64..=3, z in -3i64..=3) {
+        let map: HashMap<Var, LinExpr> = [(0u32, x), (1, y), (2, z)]
+            .into_iter()
+            .map(|(i, v)| (Var::from_index(i), LinExpr::constant(int(v))))
+            .collect();
+        let g = f.subst(&map);
+        let m: Model = [(0u32, x), (1, y), (2, z)]
+            .into_iter()
+            .map(|(i, v)| (Var::from_index(i), int(v)))
+            .collect();
+        // g is variable-free: its truth under any model equals f at the point
+        prop_assert_eq!(g.eval(&Model::new()), f.eval(&m));
+    }
+
+    #[test]
+    fn rename_then_rename_back(f in arb_formula()) {
+        // bijective rename to fresh vars and back is identity (semantically)
+        let fwd: HashMap<Var, Var> = (0..NVARS)
+            .map(|i| (Var::from_index(i), Var::from_index(i + 100)))
+            .collect();
+        let bwd: HashMap<Var, Var> = (0..NVARS)
+            .map(|i| (Var::from_index(i + 100), Var::from_index(i)))
+            .collect();
+        let g = f.rename(&fwd).rename(&bwd);
+        prop_assert!(for_all_grid(|m| f.eval(m) == g.eval(m)));
+    }
+}

@@ -1,0 +1,86 @@
+//! Property tests for the learning toolchain: Lemma 3.1 (perfect
+//! classification of any consistent dataset) for both Algorithm 1 and
+//! the full Algorithm 2 pipeline, under both classifiers.
+
+use linarb_arith::int;
+use linarb_logic::{Formula, Model, Var};
+use linarb_ml::{
+    learn, linear_arbitrary, ClassifierKind, Dataset, LearnConfig,
+};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+fn params(n: usize) -> Vec<Var> {
+    (0..n as u32).map(Var::from_index).collect()
+}
+
+fn build_dataset(pos: &[(i64, i64)], neg: &[(i64, i64)]) -> Option<Dataset> {
+    let ps: HashSet<_> = pos.iter().collect();
+    let ns: HashSet<_> = neg.iter().collect();
+    if ps.intersection(&ns).next().is_some() || ps.is_empty() || ns.is_empty() {
+        return None; // contradictory or degenerate: covered by unit tests
+    }
+    let mut d = Dataset::new(2);
+    for &(x, y) in pos {
+        d.add_positive(vec![int(x), int(y)]);
+    }
+    for &(x, y) in neg {
+        d.add_negative(vec![int(x), int(y)]);
+    }
+    Some(d)
+}
+
+fn perfect(f: &Formula, ps: &[Var], d: &Dataset) -> bool {
+    let at = |s: &[linarb_arith::BigInt]| {
+        let mut m = Model::new();
+        for (v, x) in ps.iter().zip(s.iter()) {
+            m.assign(*v, x.clone());
+        }
+        f.eval(&m)
+    };
+    d.positives().iter().all(|s| at(s)) && d.negatives().iter().all(|s| !at(s))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn algorithm1_separates_any_consistent_data(
+        pos in prop::collection::vec((-8i64..8, -8i64..8), 1..12),
+        neg in prop::collection::vec((-8i64..8, -8i64..8), 1..12),
+        svm in any::<bool>(),
+    ) {
+        let Some(d) = build_dataset(&pos, &neg) else { return Ok(()); };
+        let ps = params(2);
+        let config = LearnConfig {
+            classifier: if svm { ClassifierKind::Svm } else { ClassifierKind::Perceptron },
+            ..LearnConfig::default()
+        };
+        let f = linear_arbitrary(&d, &ps, &config).expect("consistent data must learn");
+        prop_assert!(perfect(&f, &ps, &d), "Lemma 3.1 violated by {f} on {pos:?}/{neg:?}");
+    }
+
+    #[test]
+    fn algorithm2_separates_any_consistent_data(
+        pos in prop::collection::vec((-8i64..8, -8i64..8), 1..10),
+        neg in prop::collection::vec((-8i64..8, -8i64..8), 1..10),
+    ) {
+        let Some(d) = build_dataset(&pos, &neg) else { return Ok(()); };
+        let ps = params(2);
+        let (f, _) = learn(&d, &ps, &LearnConfig::default()).expect("consistent data must learn");
+        prop_assert!(perfect(&f, &ps, &d), "Lemma 3.1 violated by {f} on {pos:?}/{neg:?}");
+    }
+
+    #[test]
+    fn ablation_no_dt_also_perfect(
+        pos in prop::collection::vec((-6i64..6, -6i64..6), 1..8),
+        neg in prop::collection::vec((-6i64..6, -6i64..6), 1..8),
+    ) {
+        let Some(d) = build_dataset(&pos, &neg) else { return Ok(()); };
+        let ps = params(2);
+        let config = LearnConfig { use_decision_tree: false, ..LearnConfig::default() };
+        let (f, stats) = learn(&d, &ps, &config).expect("consistent data must learn");
+        prop_assert!(!stats.dt_used);
+        prop_assert!(perfect(&f, &ps, &d));
+    }
+}

@@ -1,0 +1,834 @@
+//! A CDCL (conflict-driven clause learning) SAT solver.
+//!
+//! This is the boolean core of linarb's lazy SMT solver
+//! (`linarb-smt`): the SMT layer abstracts theory atoms into boolean
+//! variables, asks this solver for a satisfying assignment, and feeds
+//! back *theory conflict clauses* until the assignment is
+//! theory-consistent or the formula becomes unsatisfiable.
+//!
+//! The design is a compact MiniSat: two-watched-literal propagation,
+//! first-UIP conflict analysis with clause learning, VSIDS-style
+//! activity heuristics with phase saving, and geometric restarts.
+//!
+//! # Examples
+//!
+//! ```
+//! use linarb_sat::{SatSolver, SatResult};
+//!
+//! let mut s = SatSolver::new();
+//! let a = s.new_var();
+//! let b = s.new_var();
+//! s.add_clause(&[a.positive(), b.positive()]);
+//! s.add_clause(&[a.negative(), b.negative()]);
+//! assert_eq!(s.solve(), SatResult::Sat);
+//! let (va, vb) = (s.value(a).unwrap(), s.value(b).unwrap());
+//! assert!(va != vb);
+//! ```
+
+use std::fmt;
+
+/// A boolean variable, identified by index.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BVar(u32);
+
+impl BVar {
+    /// The positive literal of this variable.
+    pub fn positive(self) -> Lit {
+        Lit(self.0 << 1)
+    }
+
+    /// The negative literal of this variable.
+    pub fn negative(self) -> Lit {
+        Lit(self.0 << 1 | 1)
+    }
+
+    /// The literal of this variable with the given polarity.
+    pub fn lit(self, positive: bool) -> Lit {
+        if positive {
+            self.positive()
+        } else {
+            self.negative()
+        }
+    }
+
+    /// Raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for BVar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b{}", self.0)
+    }
+}
+
+/// A literal: a boolean variable or its negation.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// The underlying variable.
+    pub fn var(self) -> BVar {
+        BVar(self.0 >> 1)
+    }
+
+    /// `true` for a positive literal.
+    pub fn is_positive(self) -> bool {
+        self.0 & 1 == 0
+    }
+
+    /// The complementary literal.
+    pub fn negated(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+
+    fn code(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::ops::Not for Lit {
+    type Output = Lit;
+    fn not(self) -> Lit {
+        self.negated()
+    }
+}
+
+impl fmt::Debug for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_positive() {
+            write!(f, "b{}", self.0 >> 1)
+        } else {
+            write!(f, "~b{}", self.0 >> 1)
+        }
+    }
+}
+
+/// Result of a [`SatSolver::solve`] call.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SatResult {
+    /// A satisfying assignment was found; read it with
+    /// [`SatSolver::value`].
+    Sat,
+    /// The clause set is unsatisfiable.
+    Unsat,
+    /// The conflict budget was exhausted before an answer was reached.
+    Unknown,
+}
+
+const INVALID: u32 = u32::MAX;
+
+#[derive(Clone)]
+struct ClauseInfo {
+    lits: Vec<Lit>,
+}
+
+/// A CDCL SAT solver over clauses of [`Lit`]s.
+///
+/// See the [crate documentation](crate) for an example.
+pub struct SatSolver {
+    clauses: Vec<ClauseInfo>,
+    /// Watch lists indexed by literal code: clauses watching that literal.
+    watches: Vec<Vec<u32>>,
+    /// Assignment: 0 = unassigned, 1 = true, 2 = false.
+    assign: Vec<u8>,
+    /// Saved phase for decisions.
+    phase: Vec<bool>,
+    level: Vec<u32>,
+    reason: Vec<u32>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+    activity: Vec<f64>,
+    var_inc: f64,
+    ok: bool,
+    conflict_limit: Option<u64>,
+    conflicts: u64,
+    propagations: u64,
+}
+
+impl Default for SatSolver {
+    fn default() -> Self {
+        SatSolver::new()
+    }
+}
+
+impl SatSolver {
+    /// Creates an empty solver.
+    pub fn new() -> SatSolver {
+        SatSolver {
+            clauses: Vec::new(),
+            watches: Vec::new(),
+            assign: Vec::new(),
+            phase: Vec::new(),
+            level: Vec::new(),
+            reason: Vec::new(),
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            qhead: 0,
+            activity: Vec::new(),
+            var_inc: 1.0,
+            ok: true,
+            conflict_limit: None,
+            conflicts: 0,
+            propagations: 0,
+        }
+    }
+
+    /// Creates a fresh boolean variable.
+    pub fn new_var(&mut self) -> BVar {
+        let v = BVar(self.assign.len() as u32);
+        self.assign.push(0);
+        self.phase.push(false);
+        self.level.push(0);
+        self.reason.push(INVALID);
+        self.activity.push(0.0);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        v
+    }
+
+    /// Number of variables created.
+    pub fn num_vars(&self) -> usize {
+        self.assign.len()
+    }
+
+    /// Number of conflicts encountered so far (for statistics).
+    pub fn num_conflicts(&self) -> u64 {
+        self.conflicts
+    }
+
+    /// Number of unit propagations performed (for statistics).
+    pub fn num_propagations(&self) -> u64 {
+        self.propagations
+    }
+
+    /// Caps the number of conflicts a single [`solve`](Self::solve)
+    /// may spend; exceeded budgets yield [`SatResult::Unknown`].
+    pub fn set_conflict_limit(&mut self, limit: Option<u64>) {
+        self.conflict_limit = limit;
+    }
+
+    /// Adds a clause. Returns `false` if the solver is already in an
+    /// unsatisfiable state (adding is then a no-op).
+    ///
+    /// Duplicate literals are removed; tautologies are ignored.
+    pub fn add_clause(&mut self, lits: &[Lit]) -> bool {
+        if !self.ok {
+            return false;
+        }
+        // Restart search state: learned state is kept, trail is reset,
+        // because callers add clauses between solve calls.
+        self.backtrack_to(0);
+        let mut c: Vec<Lit> = lits.to_vec();
+        c.sort();
+        c.dedup();
+        // tautology?
+        if c.windows(2).any(|w| w[0] == w[1].negated()) {
+            return true;
+        }
+        // remove literals false at level 0, detect satisfied clause
+        c.retain(|&l| self.lit_value(l) != Some(false) || self.level[l.var().index()] != 0);
+        if c.iter().any(|&l| self.lit_value(l) == Some(true) && self.level[l.var().index()] == 0) {
+            return true;
+        }
+        match c.len() {
+            0 => {
+                self.ok = false;
+                false
+            }
+            1 => {
+                if self.lit_value(c[0]) == Some(false) {
+                    self.ok = false;
+                    return false;
+                }
+                if self.lit_value(c[0]).is_none() {
+                    self.enqueue(c[0], INVALID);
+                }
+                if self.propagate().is_some() {
+                    self.ok = false;
+                    return false;
+                }
+                true
+            }
+            _ => {
+                let idx = self.clauses.len() as u32;
+                self.watches[c[0].code()].push(idx);
+                self.watches[c[1].code()].push(idx);
+                self.clauses.push(ClauseInfo { lits: c });
+                true
+            }
+        }
+    }
+
+    /// The current value of a variable. After [`SatResult::Sat`], every
+    /// variable is assigned.
+    pub fn value(&self, v: BVar) -> Option<bool> {
+        match self.assign[v.index()] {
+            1 => Some(true),
+            2 => Some(false),
+            _ => None,
+        }
+    }
+
+    fn lit_value(&self, l: Lit) -> Option<bool> {
+        self.value(l.var()).map(|b| b == l.is_positive())
+    }
+
+    fn enqueue(&mut self, l: Lit, reason: u32) {
+        debug_assert!(self.lit_value(l).is_none());
+        let v = l.var().index();
+        self.assign[v] = if l.is_positive() { 1 } else { 2 };
+        self.phase[v] = l.is_positive();
+        self.level[v] = self.trail_lim.len() as u32;
+        self.reason[v] = reason;
+        self.trail.push(l);
+    }
+
+    fn backtrack_to(&mut self, level: usize) {
+        if self.trail_lim.len() <= level {
+            return;
+        }
+        let lim = self.trail_lim[level];
+        for &l in &self.trail[lim..] {
+            self.assign[l.var().index()] = 0;
+        }
+        self.trail.truncate(lim);
+        self.trail_lim.truncate(level);
+        self.qhead = self.trail.len().min(self.qhead.min(lim));
+        self.qhead = lim.min(self.trail.len());
+    }
+
+    /// Unit propagation; returns a conflicting clause index if any.
+    fn propagate(&mut self) -> Option<u32> {
+        while self.qhead < self.trail.len() {
+            let l = self.trail[self.qhead];
+            self.qhead += 1;
+            self.propagations += 1;
+            let falsified = l.negated();
+            let mut i = 0;
+            let mut watch_list = std::mem::take(&mut self.watches[falsified.code()]);
+            while i < watch_list.len() {
+                let ci = watch_list[i];
+                let (w0, w1) = {
+                    let c = &self.clauses[ci as usize];
+                    (c.lits[0], c.lits[1])
+                };
+                // Ensure falsified literal is at position 1.
+                if w0 == falsified {
+                    self.clauses[ci as usize].lits.swap(0, 1);
+                }
+                let first = self.clauses[ci as usize].lits[0];
+                debug_assert_eq!(self.clauses[ci as usize].lits[1], falsified);
+                let _ = (w0, w1);
+                if self.lit_value(first) == Some(true) {
+                    i += 1;
+                    continue;
+                }
+                // search replacement watch
+                let mut moved = false;
+                let len = self.clauses[ci as usize].lits.len();
+                for k in 2..len {
+                    let cand = self.clauses[ci as usize].lits[k];
+                    if self.lit_value(cand) != Some(false) {
+                        self.clauses[ci as usize].lits.swap(1, k);
+                        self.watches[cand.code()].push(ci);
+                        watch_list.swap_remove(i);
+                        moved = true;
+                        break;
+                    }
+                }
+                if moved {
+                    continue;
+                }
+                // clause is unit or conflicting
+                if self.lit_value(first) == Some(false) {
+                    // conflict: restore remaining watches
+                    self.watches[falsified.code()].extend_from_slice(&watch_list[..]);
+                    return Some(ci);
+                }
+                self.enqueue(first, ci);
+                i += 1;
+            }
+            let existing = std::mem::take(&mut self.watches[falsified.code()]);
+            watch_list.extend(existing);
+            self.watches[falsified.code()] = watch_list;
+        }
+        None
+    }
+
+    fn bump_var(&mut self, v: usize) {
+        self.activity[v] += self.var_inc;
+        if self.activity[v] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+    }
+
+    /// First-UIP conflict analysis. Returns (learned clause, backtrack level).
+    fn analyze(&mut self, conflict: u32) -> (Vec<Lit>, usize) {
+        let mut learned: Vec<Lit> = vec![Lit(0)]; // placeholder for UIP
+        let mut seen = vec![false; self.num_vars()];
+        let mut counter = 0usize;
+        let mut p: Option<Lit> = None;
+        let mut clause = conflict;
+        let mut trail_idx = self.trail.len();
+        let decision_level = self.trail_lim.len() as u32;
+
+        loop {
+            let lits: Vec<Lit> = self.clauses[clause as usize].lits.clone();
+            let start = if p.is_none() { 0 } else { 1 };
+            for &q in &lits[start..] {
+                let v = q.var().index();
+                if !seen[v] && self.level[v] > 0 {
+                    seen[v] = true;
+                    self.bump_var(v);
+                    if self.level[v] == decision_level {
+                        counter += 1;
+                    } else {
+                        learned.push(q);
+                    }
+                }
+            }
+            // pick next literal to resolve from trail
+            loop {
+                trail_idx -= 1;
+                let l = self.trail[trail_idx];
+                if seen[l.var().index()] {
+                    p = Some(l);
+                    break;
+                }
+            }
+            let pv = p.expect("found above").var().index();
+            seen[pv] = false;
+            counter -= 1;
+            if counter == 0 {
+                learned[0] = p.expect("found above").negated();
+                break;
+            }
+            clause = self.reason[pv];
+            debug_assert_ne!(clause, INVALID, "resolved literal must have a reason");
+            // skip position 0 of reason clause (the propagated literal)
+        }
+
+        // backtrack level = max level among learned[1..]
+        let bt = learned[1..]
+            .iter()
+            .map(|l| self.level[l.var().index()] as usize)
+            .max()
+            .unwrap_or(0);
+        (learned, bt)
+    }
+
+    /// Solves the current clause set.
+    pub fn solve(&mut self) -> SatResult {
+        if !self.ok {
+            return SatResult::Unsat;
+        }
+        self.backtrack_to(0);
+        if self.propagate().is_some() {
+            self.ok = false;
+            return SatResult::Unsat;
+        }
+        let start_conflicts = self.conflicts;
+        let mut restart_limit = 100u64;
+        let mut conflicts_since_restart = 0u64;
+
+        loop {
+            if let Some(ci) = self.propagate() {
+                self.conflicts += 1;
+                conflicts_since_restart += 1;
+                if let Some(limit) = self.conflict_limit {
+                    if self.conflicts - start_conflicts > limit {
+                        self.backtrack_to(0);
+                        return SatResult::Unknown;
+                    }
+                }
+                if self.trail_lim.is_empty() {
+                    self.ok = false;
+                    return SatResult::Unsat;
+                }
+                let (learned, bt) = self.analyze(ci);
+                self.backtrack_to(bt);
+                self.var_inc /= 0.95;
+                match learned.len() {
+                    1 => {
+                        if self.lit_value(learned[0]) == Some(false) {
+                            self.ok = false;
+                            return SatResult::Unsat;
+                        }
+                        if self.lit_value(learned[0]).is_none() {
+                            self.enqueue(learned[0], INVALID);
+                        }
+                    }
+                    _ => {
+                        let idx = self.clauses.len() as u32;
+                        self.watches[learned[0].code()].push(idx);
+                        self.watches[learned[1].code()].push(idx);
+                        let unit = learned[0];
+                        self.clauses.push(ClauseInfo { lits: learned });
+                        self.enqueue(unit, idx);
+                    }
+                }
+            } else {
+                if conflicts_since_restart >= restart_limit {
+                    conflicts_since_restart = 0;
+                    restart_limit = restart_limit + restart_limit / 2;
+                    self.backtrack_to(0);
+                    continue;
+                }
+                // decide
+                match self.pick_branch() {
+                    None => return SatResult::Sat,
+                    Some(v) => {
+                        self.trail_lim.push(self.trail.len());
+                        let lit = v.lit(self.phase[v.index()]);
+                        self.enqueue(lit, INVALID);
+                    }
+                }
+            }
+        }
+    }
+
+    fn pick_branch(&self) -> Option<BVar> {
+        let mut best: Option<(usize, f64)> = None;
+        for v in 0..self.num_vars() {
+            if self.assign[v] == 0 {
+                match best {
+                    Some((_, a)) if a >= self.activity[v] => {}
+                    _ => best = Some((v, self.activity[v])),
+                }
+            }
+        }
+        best.map(|(v, _)| BVar(v as u32))
+    }
+}
+
+impl fmt::Debug for SatSolver {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "SatSolver {{ vars: {}, clauses: {}, conflicts: {} }}",
+            self.num_vars(),
+            self.clauses.len(),
+            self.conflicts
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model_satisfies(s: &SatSolver, clauses: &[Vec<Lit>]) -> bool {
+        clauses.iter().all(|c| {
+            c.iter().any(|&l| s.value(l.var()) == Some(l.is_positive()))
+        })
+    }
+
+    #[test]
+    fn trivial_sat_unsat() {
+        let mut s = SatSolver::new();
+        let a = s.new_var();
+        assert!(s.add_clause(&[a.positive()]));
+        assert_eq!(s.solve(), SatResult::Sat);
+        assert_eq!(s.value(a), Some(true));
+        assert!(!s.add_clause(&[a.negative()]) || s.solve() == SatResult::Unsat);
+    }
+
+    #[test]
+    fn empty_clause_is_unsat() {
+        let mut s = SatSolver::new();
+        let _ = s.new_var();
+        assert!(!s.add_clause(&[]));
+        assert_eq!(s.solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn tautology_ignored() {
+        let mut s = SatSolver::new();
+        let a = s.new_var();
+        assert!(s.add_clause(&[a.positive(), a.negative()]));
+        assert_eq!(s.solve(), SatResult::Sat);
+    }
+
+    #[test]
+    fn xor_chain_sat() {
+        // (a xor b) encoded in CNF, plus forcing units
+        let mut s = SatSolver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause(&[a.positive(), b.positive()]);
+        s.add_clause(&[a.negative(), b.negative()]);
+        s.add_clause(&[a.positive()]);
+        assert_eq!(s.solve(), SatResult::Sat);
+        assert_eq!(s.value(a), Some(true));
+        assert_eq!(s.value(b), Some(false));
+    }
+
+    #[test]
+    fn pigeonhole_3_into_2_unsat() {
+        // 3 pigeons, 2 holes: var p_i_h means pigeon i in hole h
+        let mut s = SatSolver::new();
+        let mut v = vec![];
+        for _ in 0..6 {
+            v.push(s.new_var());
+        }
+        let p = |i: usize, h: usize| v[i * 2 + h];
+        for i in 0..3 {
+            s.add_clause(&[p(i, 0).positive(), p(i, 1).positive()]);
+        }
+        for h in 0..2 {
+            for i in 0..3 {
+                for j in (i + 1)..3 {
+                    s.add_clause(&[p(i, h).negative(), p(j, h).negative()]);
+                }
+            }
+        }
+        assert_eq!(s.solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn pigeonhole_3_into_3_sat() {
+        let mut s = SatSolver::new();
+        let mut v = vec![];
+        for _ in 0..9 {
+            v.push(s.new_var());
+        }
+        let p = |i: usize, h: usize| v[i * 3 + h];
+        let mut all = vec![];
+        for i in 0..3 {
+            let c = vec![p(i, 0).positive(), p(i, 1).positive(), p(i, 2).positive()];
+            s.add_clause(&c);
+            all.push(c);
+        }
+        for h in 0..3 {
+            for i in 0..3 {
+                for j in (i + 1)..3 {
+                    let c = vec![p(i, h).negative(), p(j, h).negative()];
+                    s.add_clause(&c);
+                    all.push(c);
+                }
+            }
+        }
+        assert_eq!(s.solve(), SatResult::Sat);
+        assert!(model_satisfies(&s, &all));
+    }
+
+    #[test]
+    fn incremental_clause_addition() {
+        let mut s = SatSolver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        let c = s.new_var();
+        s.add_clause(&[a.positive(), b.positive(), c.positive()]);
+        assert_eq!(s.solve(), SatResult::Sat);
+        // block current model repeatedly; 7 models of 3 vars satisfy the clause
+        let mut count = 0;
+        loop {
+            if s.solve() != SatResult::Sat {
+                break;
+            }
+            count += 1;
+            assert!(count <= 7, "too many models");
+            let block: Vec<Lit> = [a, b, c]
+                .iter()
+                .map(|&v| v.lit(!s.value(v).unwrap()))
+                .collect();
+            s.add_clause(&block);
+        }
+        assert_eq!(count, 7);
+    }
+
+    #[test]
+    fn php_4_3_unsat_exercises_learning() {
+        let n = 4usize;
+        let m = 3usize;
+        let mut s = SatSolver::new();
+        let mut v = vec![];
+        for _ in 0..n * m {
+            v.push(s.new_var());
+        }
+        let p = |i: usize, h: usize| v[i * m + h];
+        for i in 0..n {
+            let c: Vec<Lit> = (0..m).map(|h| p(i, h).positive()).collect();
+            s.add_clause(&c);
+        }
+        for h in 0..m {
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    s.add_clause(&[p(i, h).negative(), p(j, h).negative()]);
+                }
+            }
+        }
+        assert_eq!(s.solve(), SatResult::Unsat);
+        assert!(s.num_conflicts() > 0);
+    }
+
+    #[test]
+    fn conflict_limit_returns_unknown() {
+        // php 7/6 with a conflict limit of 1 should bail out
+        let n = 7usize;
+        let m = 6usize;
+        let mut s = SatSolver::new();
+        let mut v = vec![];
+        for _ in 0..n * m {
+            v.push(s.new_var());
+        }
+        let p = |i: usize, h: usize| v[i * m + h];
+        for i in 0..n {
+            let c: Vec<Lit> = (0..m).map(|h| p(i, h).positive()).collect();
+            s.add_clause(&c);
+        }
+        for h in 0..m {
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    s.add_clause(&[p(i, h).negative(), p(j, h).negative()]);
+                }
+            }
+        }
+        s.set_conflict_limit(Some(1));
+        assert_eq!(s.solve(), SatResult::Unknown);
+        s.set_conflict_limit(None);
+        assert_eq!(s.solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn random_3sat_agrees_with_brute_force() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+        for round in 0..200 {
+            let nvars = rng.gen_range(1..=8usize);
+            let nclauses = rng.gen_range(1..=24usize);
+            let mut clauses: Vec<Vec<Lit>> = Vec::new();
+            let mut s = SatSolver::new();
+            let vars: Vec<BVar> = (0..nvars).map(|_| s.new_var()).collect();
+            for _ in 0..nclauses {
+                let len = rng.gen_range(1..=3usize);
+                let c: Vec<Lit> = (0..len)
+                    .map(|_| vars[rng.gen_range(0..nvars)].lit(rng.gen_bool(0.5)))
+                    .collect();
+                clauses.push(c.clone());
+                s.add_clause(&c);
+            }
+            // brute force
+            let mut brute_sat = false;
+            for bits in 0..(1u32 << nvars) {
+                let assign = |v: BVar| bits >> v.index() & 1 == 1;
+                if clauses
+                    .iter()
+                    .all(|c| c.iter().any(|&l| assign(l.var()) == l.is_positive()))
+                {
+                    brute_sat = true;
+                    break;
+                }
+            }
+            let res = s.solve();
+            if brute_sat {
+                assert_eq!(res, SatResult::Sat, "round {round}");
+                assert!(model_satisfies(&s, &clauses), "round {round} bad model");
+            } else {
+                assert_eq!(res, SatResult::Unsat, "round {round}");
+            }
+        }
+    }
+}
+
+/// Parses a DIMACS CNF document into a fresh solver, returning the
+/// solver and the variables in index order.
+///
+/// # Errors
+///
+/// Returns a message describing the malformed line.
+///
+/// ```
+/// use linarb_sat::{parse_dimacs, SatResult};
+/// let (mut solver, vars) = parse_dimacs("p cnf 2 2\n1 2 0\n-1 -2 0\n")?;
+/// assert_eq!(vars.len(), 2);
+/// assert_eq!(solver.solve(), SatResult::Sat);
+/// # Ok::<(), String>(())
+/// ```
+pub fn parse_dimacs(text: &str) -> Result<(SatSolver, Vec<BVar>), String> {
+    let mut solver = SatSolver::new();
+    let mut vars: Vec<BVar> = Vec::new();
+    let mut clause: Vec<Lit> = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('c') || line.starts_with('%') {
+            continue;
+        }
+        if line.starts_with('p') {
+            let mut parts = line.split_whitespace();
+            let (_, fmt) = (parts.next(), parts.next());
+            if fmt != Some("cnf") {
+                return Err(format!("unsupported DIMACS format line: `{line}`"));
+            }
+            let nvars: usize = parts
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| format!("bad variable count in `{line}`"))?;
+            while vars.len() < nvars {
+                vars.push(solver.new_var());
+            }
+            continue;
+        }
+        for tok in line.split_whitespace() {
+            let n: i64 = tok
+                .parse()
+                .map_err(|_| format!("bad literal `{tok}`"))?;
+            if n == 0 {
+                solver.add_clause(&clause);
+                clause.clear();
+                continue;
+            }
+            let idx = n.unsigned_abs() as usize - 1;
+            while vars.len() <= idx {
+                vars.push(solver.new_var());
+            }
+            clause.push(vars[idx].lit(n > 0));
+        }
+    }
+    if !clause.is_empty() {
+        solver.add_clause(&clause);
+    }
+    Ok((solver, vars))
+}
+
+#[cfg(test)]
+mod dimacs_tests {
+    use super::*;
+
+    #[test]
+    fn parses_and_solves() {
+        let (mut s, vars) = parse_dimacs("c comment\np cnf 3 3\n1 -2 0\n2 3 0\n-1 0\n").unwrap();
+        assert_eq!(vars.len(), 3);
+        assert_eq!(s.solve(), SatResult::Sat);
+        assert_eq!(s.value(vars[0]), Some(false));
+        // clause 1: -2 must hold, so 3 must hold
+        assert_eq!(s.value(vars[1]), Some(false));
+        assert_eq!(s.value(vars[2]), Some(true));
+    }
+
+    #[test]
+    fn unsat_instance() {
+        let (mut s, _) = parse_dimacs("p cnf 1 2\n1 0\n-1 0\n").unwrap();
+        assert_eq!(s.solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_dimacs("p cnf x 2").is_err());
+        assert!(parse_dimacs("1 two 0").is_err());
+        assert!(parse_dimacs("p dnf 1 1").is_err());
+    }
+
+    #[test]
+    fn trailing_clause_without_zero() {
+        let (mut s, _) = parse_dimacs("p cnf 2 1\n1 2").unwrap();
+        assert_eq!(s.solve(), SatResult::Sat);
+    }
+}

@@ -1,0 +1,83 @@
+//! Solve budgets: wall-clock deadlines threaded through every engine.
+//!
+//! The evaluation harness imposes the paper's per-benchmark timeouts by
+//! handing each solver a [`Budget`]; engines poll
+//! [`Budget::exhausted`] at loop heads and surface
+//! `Unknown`/`Timeout` results instead of being killed.
+
+use std::time::{Duration, Instant};
+
+/// A wall-clock budget for a solving task.
+///
+/// ```
+/// use linarb_smt::Budget;
+/// use std::time::Duration;
+///
+/// let b = Budget::unlimited();
+/// assert!(!b.exhausted());
+///
+/// let t = Budget::timeout(Duration::from_millis(0));
+/// assert!(t.exhausted());
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct Budget {
+    deadline: Option<Instant>,
+}
+
+impl Budget {
+    /// A budget that never expires.
+    pub fn unlimited() -> Budget {
+        Budget { deadline: None }
+    }
+
+    /// A budget expiring `d` from now.
+    pub fn timeout(d: Duration) -> Budget {
+        Budget { deadline: Some(Instant::now() + d) }
+    }
+
+    /// A budget expiring at the given instant.
+    pub fn until(deadline: Instant) -> Budget {
+        Budget { deadline: Some(deadline) }
+    }
+
+    /// Returns `true` once the deadline has passed.
+    pub fn exhausted(&self) -> bool {
+        match self.deadline {
+            None => false,
+            Some(d) => Instant::now() >= d,
+        }
+    }
+
+    /// Time left, or `None` for unlimited budgets.
+    pub fn remaining(&self) -> Option<Duration> {
+        self.deadline.map(|d| d.saturating_duration_since(Instant::now()))
+    }
+}
+
+impl Default for Budget {
+    fn default() -> Self {
+        Budget::unlimited()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_never_expires() {
+        let b = Budget::unlimited();
+        assert!(!b.exhausted());
+        assert_eq!(b.remaining(), None);
+    }
+
+    #[test]
+    fn timeout_expires() {
+        let b = Budget::timeout(Duration::from_millis(0));
+        assert!(b.exhausted());
+        assert_eq!(b.remaining(), Some(Duration::ZERO));
+        let later = Budget::timeout(Duration::from_secs(3600));
+        assert!(!later.exhausted());
+        assert!(later.remaining().unwrap() > Duration::from_secs(3000));
+    }
+}

@@ -1,0 +1,102 @@
+//! Property tests for Farkas certificates: every certificate returned
+//! by `check_conjunction` must be a genuine positive combination of
+//! the input atoms whose variable coefficients cancel and whose
+//! constant is a contradiction.
+
+use linarb_arith::{int, BigRational};
+use linarb_logic::{Atom, LinExpr, Var};
+use linarb_smt::{check_conjunction, BoundKind, Budget, ConjunctionResult};
+use proptest::prelude::*;
+
+const DIM: usize = 3;
+
+fn arb_atoms() -> impl Strategy<Value = Vec<Atom>> {
+    prop::collection::vec(
+        (
+            prop::collection::vec(-4i64..=4, DIM),
+            -10i64..=10,
+        ),
+        2..10,
+    )
+    .prop_map(|rows| {
+        rows.into_iter()
+            .map(|(w, c)| {
+                let e = LinExpr::from_terms(
+                    w.into_iter()
+                        .enumerate()
+                        .map(|(i, a)| (Var::from_index(i as u32), int(a))),
+                    int(0),
+                );
+                Atom::le(e, LinExpr::constant(int(c)))
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn certificates_are_valid_combinations(atoms in arb_atoms()) {
+        match check_conjunction(&atoms, &Budget::unlimited()) {
+            ConjunctionResult::Sat(m) => {
+                // the model must satisfy every atom
+                for a in &atoms {
+                    prop_assert!(a.holds(&m), "{a} fails under {m:?}");
+                }
+            }
+            ConjunctionResult::Unsat { core, farkas } => {
+                // An empty core with no certificate is the documented
+                // branch-and-bound-only verdict ("whole conjunction");
+                // certificates, when present, must be valid.
+                let _ = core;
+                if let Some(cert) = farkas {
+                    // Reconstruct Σ mᵢ·eᵢ: variables must cancel and
+                    // the constant must be strictly positive
+                    // (eᵢ ≤ 0 summed with positive multipliers cannot
+                    // exceed 0 — a positive constant is the
+                    // contradiction).
+                    let mut combo_num = vec![BigRational::zero(); DIM];
+                    let mut konst = BigRational::zero();
+                    for entry in &cert.entries {
+                        prop_assert!(entry.multiplier.is_positive());
+                        // entries reference atoms by tag; both bound
+                        // kinds refer to the same inequality e ≤ 0.
+                        let atom = &atoms[entry.tag];
+                        let _ = BoundKind::Upper;
+                        let e = atom.expr();
+                        for d in 0..DIM {
+                            let c = e.coeff(Var::from_index(d as u32));
+                            combo_num[d] = &combo_num[d]
+                                + &(&entry.multiplier * &BigRational::from(c));
+                        }
+                        konst = &konst
+                            + &(&entry.multiplier * &BigRational::from(e.constant_term()));
+                    }
+                    for (d, c) in combo_num.iter().enumerate() {
+                        prop_assert!(c.is_zero(), "coefficient of x{d} must cancel, got {c}");
+                    }
+                    prop_assert!(
+                        konst.is_positive(),
+                        "certificate constant must witness the contradiction, got {konst}"
+                    );
+                }
+            }
+            ConjunctionResult::Unknown => {}
+        }
+    }
+
+    #[test]
+    fn cores_are_themselves_unsat(atoms in arb_atoms()) {
+        if let ConjunctionResult::Unsat { core, farkas: Some(_) } =
+            check_conjunction(&atoms, &Budget::unlimited())
+        {
+            let subset: Vec<Atom> = core.iter().map(|&i| atoms[i].clone()).collect();
+            let again = check_conjunction(&subset, &Budget::unlimited());
+            prop_assert!(
+                matches!(again, ConjunctionResult::Unsat { .. }),
+                "the reported core must itself be unsatisfiable"
+            );
+        }
+    }
+}

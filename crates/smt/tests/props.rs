@@ -1,0 +1,100 @@
+//! Property tests: the SMT solver agrees with brute-force evaluation
+//! on random small formulas, and its models always satisfy the input.
+
+use linarb_arith::int;
+use linarb_logic::{Atom, Formula, LinExpr, Model, Var};
+use linarb_smt::{check_sat, Budget, SmtResult};
+use proptest::prelude::*;
+
+const NVARS: u32 = 3;
+const GRID: i64 = 4; // brute-force grid [-GRID, GRID]^NVARS
+
+fn arb_atom() -> impl Strategy<Value = Formula> {
+    (
+        prop::collection::vec(-3i64..=3, NVARS as usize),
+        -6i64..=6,
+    )
+        .prop_map(|(coeffs, k)| {
+            let e = LinExpr::from_terms(
+                coeffs
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, c)| (Var::from_index(i as u32), int(c))),
+                int(0),
+            );
+            Formula::from(Atom::le(e, LinExpr::constant(int(k))))
+        })
+}
+
+fn arb_formula() -> impl Strategy<Value = Formula> {
+    arb_atom().prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 1..4).prop_map(Formula::and),
+            prop::collection::vec(inner.clone(), 1..4).prop_map(Formula::or),
+            inner.prop_map(Formula::not),
+        ]
+    })
+}
+
+fn grid_models(f: &Formula) -> Option<Model> {
+    let mut point = [0i64; NVARS as usize];
+    fn rec(f: &Formula, idx: usize, point: &mut [i64; NVARS as usize]) -> Option<Model> {
+        if idx == NVARS as usize {
+            let m: Model = point
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| (Var::from_index(i as u32), int(v)))
+                .collect();
+            return if f.eval(&m) { Some(m) } else { None };
+        }
+        for v in -GRID..=GRID {
+            point[idx] = v;
+            if let Some(m) = rec(f, idx + 1, point) {
+                return Some(m);
+            }
+        }
+        None
+    }
+    rec(f, 0, &mut point)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn models_satisfy_formula(f in arb_formula()) {
+        if let SmtResult::Sat(m) = check_sat(&f, &Budget::unlimited()) {
+            prop_assert!(f.eval(&m), "returned model must satisfy the formula: {f} with {m:?}");
+        }
+    }
+
+    #[test]
+    fn grid_witness_implies_sat(f in arb_formula()) {
+        if grid_models(&f).is_some() {
+            let r = check_sat(&f, &Budget::unlimited());
+            prop_assert!(
+                r.is_sat(),
+                "brute force found a model inside the grid but solver said {r:?} for {f}"
+            );
+        }
+    }
+
+    #[test]
+    fn unsat_means_no_grid_witness(f in arb_formula()) {
+        if check_sat(&f, &Budget::unlimited()).is_unsat() {
+            prop_assert!(
+                grid_models(&f).is_none(),
+                "solver said unsat but the grid contains a model of {f}"
+            );
+        }
+    }
+
+    #[test]
+    fn double_negation_preserves_verdict(f in arb_formula()) {
+        let g = Formula::not(Formula::not(f.clone()));
+        let rf = check_sat(&f, &Budget::unlimited());
+        let rg = check_sat(&g, &Budget::unlimited());
+        prop_assert_eq!(rf.is_sat(), rg.is_sat());
+        prop_assert_eq!(rf.is_unsat(), rg.is_unsat());
+    }
+}

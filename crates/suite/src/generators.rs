@@ -1,0 +1,372 @@
+//! Parametric benchmark generators for the evaluation's large
+//! categories.
+//!
+//! Every generator is seeded and deterministic: the same call always
+//! produces the same programs. Families are designed so that each
+//! category keeps the property that made it hard in the paper:
+//!
+//! * loop programs with **disjunctive** invariants (where PDR and
+//!   interpolation diverge),
+//! * **equation-shaped** invariants (where DIG-style templates shine),
+//! * **recursive** programs with non-linear clauses,
+//! * **large sequential** programs (product lines, event loops,
+//!   SystemC-style schedulers, driver harnesses) whose invariants are
+//!   simple but whose clause systems are big.
+
+use crate::{Benchmark, Category, Expected};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Bounded counter loops: `x` from `a` stepping `s` up to `n`.
+/// Safe variants assert the exit window; unsafe variants assert an
+/// exact landing that the step misses.
+pub fn counter_family(count: usize, seed: u64, category: Category) -> Vec<Benchmark> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::new();
+    for k in 0..count {
+        let a = rng.gen_range(-5i64..=5);
+        let s = rng.gen_range(1i64..=4);
+        let n = a + s * rng.gen_range(3i64..=12);
+        let unsafe_variant = k % 5 == 4;
+        let (assert, expected) = if unsafe_variant && s > 1 {
+            // landing between n and n+s-1 — asserting == n exactly is
+            // wrong when the step can overshoot
+            (format!("assert(x == {n} + 1);"), Expected::Unsafe)
+        } else {
+            (
+                format!("assert(x >= {n} && x <= {n} + {s} - 1);"),
+                Expected::Safe,
+            )
+        };
+        let src = format!(
+            r#"
+            void main() {{
+                int x = {a};
+                while (x < {n}) {{ x = x + {s}; }}
+                {assert}
+            }}
+        "#
+        );
+        out.push(Benchmark::from_mini_c(
+            &format!("counter_{k}"),
+            category,
+            expected,
+            &src,
+        ));
+    }
+    out
+}
+
+/// Two-variable lockstep loops: invariants are equations
+/// (`x = c·y + d`), DIG's sweet spot.
+pub fn equation_family(count: usize, seed: u64, category: Category) -> Vec<Benchmark> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::new();
+    for k in 0..count {
+        let c = rng.gen_range(1i64..=3);
+        let d = rng.gen_range(-3i64..=3);
+        let src = format!(
+            r#"
+            void main() {{
+                int y = 0; int x = {d};
+                while (*) {{ x = x + {c}; y = y + 1; }}
+                assert(x == {c} * y + {d});
+            }}
+        "#
+        );
+        out.push(Benchmark::from_mini_c(
+            &format!("equation_{k}"),
+            category,
+            Expected::Safe,
+            &src,
+        ));
+    }
+    out
+}
+
+/// Phase/mode loops whose invariants are disjunctive: a counter walks
+/// up to a threshold, then a second variable takes over.
+pub fn phase_family(count: usize, seed: u64, category: Category) -> Vec<Benchmark> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::new();
+    for k in 0..count {
+        let t = rng.gen_range(3i64..=10);
+        let src = format!(
+            r#"
+            void main() {{
+                int x = 0; int y = 0;
+                while (*) {{
+                    if (x < {t}) {{ x = x + 1; }}
+                    else {{ y = y + 1; }}
+                }}
+                assert(y == 0 || x >= {t});
+            }}
+        "#
+        );
+        out.push(Benchmark::from_mini_c(
+            &format!("phase_{k}"),
+            category,
+            Expected::Safe,
+            &src,
+        ));
+    }
+    out
+}
+
+/// Diamond walks (program (a) variants): `x` steps ±1 driven by the
+/// sign of `y`; invariants are genuinely ∨∧-shaped.
+pub fn diamond_family(count: usize, seed: u64, category: Category) -> Vec<Benchmark> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::new();
+    for k in 0..count {
+        let bias = rng.gen_range(1i64..=3);
+        let src = format!(
+            r#"
+            void main() {{
+                int x = 0; int y = nondet();
+                while (y != 0) {{
+                    if (y < 0) {{ x = x - {bias}; y = y + 1; }}
+                    else {{ x = x + {bias}; y = y - 1; }}
+                    assert(x != 0);
+                }}
+            }}
+        "#
+        );
+        out.push(Benchmark::from_mini_c(
+            &format!("diamond_{k}"),
+            category,
+            Expected::Safe,
+            &src,
+        ));
+    }
+    out
+}
+
+/// Nested loops accumulating a non-negative quantity.
+pub fn nested_family(count: usize, seed: u64, category: Category) -> Vec<Benchmark> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::new();
+    for k in 0..count {
+        let step = rng.gen_range(1i64..=3);
+        let src = format!(
+            r#"
+            void main() {{
+                int i = 0; int s = 0; int n = nondet();
+                while (i < n) {{
+                    int j = 0;
+                    while (j < i) {{ s = s + {step}; j = j + 1; }}
+                    i = i + 1;
+                }}
+                assert(s >= 0);
+            }}
+        "#
+        );
+        out.push(Benchmark::from_mini_c(
+            &format!("nested_{k}"),
+            category,
+            Expected::Safe,
+            &src,
+        ));
+    }
+    out
+}
+
+/// Recursive functions: linear-summary recursion (sum, double, count)
+/// plus some unsafe claims.
+pub fn recursive_family(count: usize, seed: u64, category: Category) -> Vec<Benchmark> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::new();
+    for k in 0..count {
+        let c = rng.gen_range(1i64..=3);
+        let unsafe_variant = k % 6 == 5;
+        let (claim, expected) = if unsafe_variant {
+            (format!("assert(r >= {c} * n + 1);"), Expected::Unsafe)
+        } else {
+            (format!("assert(r >= {c} * n || n < 0);"), Expected::Safe)
+        };
+        let src = format!(
+            r#"
+            int acc(int n) {{
+                if (n <= 0) {{ return 0; }}
+                return acc(n - 1) + {c};
+            }}
+            void main() {{
+                int n = nondet();
+                assume(n >= 0);
+                int r = acc(n);
+                {claim}
+            }}
+        "#
+        );
+        out.push(Benchmark::from_mini_c(
+            &format!("recursive_{k}"),
+            category,
+            expected,
+            &src,
+        ));
+    }
+    out
+}
+
+/// Assume-guided range programs (loop-invgen style).
+pub fn invgen_family(count: usize, seed: u64, category: Category) -> Vec<Benchmark> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::new();
+    for k in 0..count {
+        let lo = rng.gen_range(-4i64..=0);
+        let hi = rng.gen_range(4i64..=9);
+        let src = format!(
+            r#"
+            void main() {{
+                int x = nondet(); int y = nondet();
+                assume(x >= {lo} && x <= {hi});
+                assume(y >= x);
+                while (x < {hi}) {{ x = x + 1; y = y + 1; }}
+                assert(y >= x);
+            }}
+        "#
+        );
+        out.push(Benchmark::from_mini_c(
+            &format!("invgen_{k}"),
+            category,
+            Expected::Safe,
+            &src,
+        ));
+    }
+    out
+}
+
+/// Product-line style: a controller loop over `k` optional features,
+/// each guarded by a 0/1 configuration variable. Program size grows
+/// linearly with `k`; the invariant stays simple.
+pub fn product_lines(k: usize, seed: u64) -> Benchmark {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut decls = String::new();
+    let mut body = String::new();
+    for i in 0..k {
+        decls.push_str(&format!(
+            "int f{i} = nondet(); assume(f{i} >= 0 && f{i} <= 1);\n"
+        ));
+        let w = rng.gen_range(1i64..=3);
+        body.push_str(&format!(
+            "if (f{i} == 1) {{ if (credit > 0) {{ credit = credit - 1; used = used + {w}; }} }}\n"
+        ));
+    }
+    let src = format!(
+        r#"
+        void main() {{
+            {decls}
+            int credit = {k}; int used = 0;
+            while (*) {{
+                {body}
+                if (credit == 0) {{ credit = {k}; used = 0; }}
+            }}
+            assert(credit >= 0);
+        }}
+    "#
+    );
+    Benchmark::from_mini_c(
+        &format!("product_lines_{k}"),
+        Category::ProductLines,
+        Expected::Safe,
+        &src,
+    )
+}
+
+/// Psyco-style event loop: an integer state machine with `k` states
+/// and nondeterministic events.
+pub fn psyco(k: usize, seed: u64) -> Benchmark {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut body = String::new();
+    for i in 0..k {
+        let next = rng.gen_range(0..k as i64);
+        body.push_str(&format!(
+            "if (state == {i}) {{ if (*) {{ state = {next}; }} else {{ state = {}; }} }}\n",
+            (i as i64 + 1) % k as i64
+        ));
+    }
+    let src = format!(
+        r#"
+        void main() {{
+            int state = 0;
+            while (*) {{
+                {body}
+            }}
+            assert(state >= 0 && state <= {});
+        }}
+    "#,
+        k as i64 - 1
+    );
+    Benchmark::from_mini_c(&format!("psyco_{k}"), Category::Psyco, Expected::Safe, &src)
+}
+
+/// SystemC-style round-robin scheduler with `k` process counters.
+/// The program grows with `k` but the safety property stays simple
+/// (scheduler bounds), matching the paper's observation that the big
+/// SV-COMP programs have easy disjunctive invariants.
+pub fn systemc(k: usize, _seed: u64) -> Benchmark {
+    let mut decls = String::new();
+    let mut body = String::new();
+    for i in 0..k {
+        decls.push_str(&format!("int c{i} = 0;\n"));
+        body.push_str(&format!(
+            "if (turn == {i}) {{ c{i} = c{i} + 1; total = total + 1; }}\n"
+        ));
+    }
+    let src = format!(
+        r#"
+        void main() {{
+            {decls}
+            int turn = 0; int total = 0;
+            while (*) {{
+                {body}
+                turn = turn + 1;
+                if (turn >= {k}) {{ turn = 0; }}
+            }}
+            assert(turn >= 0 && turn <= {k});
+        }}
+    "#
+    );
+    Benchmark::from_mini_c(
+        &format!("systemc_{k}"),
+        Category::SystemC,
+        Expected::Safe,
+        &src,
+    )
+}
+
+/// NT-driver style: a lock/flag protocol harness.
+pub fn ntdriver(k: usize, _seed: u64) -> Benchmark {
+    let mut body = String::new();
+    for i in 0..k {
+        body.push_str(&format!(
+            r#"
+            if (*) {{
+                assume(held == 0);
+                held = 1; owner = {i};
+            }}
+            if (held == 1 && owner == {i}) {{
+                if (*) {{ held = 0; releases = releases + 1; }}
+            }}
+        "#
+        ));
+    }
+    let src = format!(
+        r#"
+        void main() {{
+            int held = 0; int owner = 0 - 1; int releases = 0; int acquires = 0;
+            while (*) {{
+                {body}
+                assert(held == 0 || held == 1);
+            }}
+            assert(releases >= 0);
+        }}
+    "#
+    );
+    Benchmark::from_mini_c(
+        &format!("ntdriver_{k}"),
+        Category::NtDriver,
+        Expected::Safe,
+        &src,
+    )
+}

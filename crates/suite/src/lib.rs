@@ -1,0 +1,352 @@
+//! Benchmark corpus for the linarb evaluation.
+//!
+//! The paper evaluates on suites we cannot redistribute (SV-COMP C
+//! files, PIE's and DIG's test programs), so this crate re-authors the
+//! *named* programs the paper discusses and generates the large
+//! categories parametrically (see `DESIGN.md` §3 for the substitution
+//! rationale). Each [`Benchmark`] carries its mini-C source, compiled
+//! [`ChcSystem`], category, and ground-truth verdict.
+//!
+//! Suite entry points mirror the paper's experiments:
+//!
+//! * [`paper_examples`] — Fig. 1, programs (a)–(c), §6's recursive
+//!   programs.
+//! * [`pie82`] — 82 loop programs (Fig. 8(a)).
+//! * [`dig_linear`] — linear/equation programs (Fig. 8(b)).
+//! * [`chc381`] — the 381-program solver-comparison suite
+//!   (Fig. 8(c) and the GPDR/Spacer/Duality table).
+//! * [`svcomp135`] — loop-lit/loop-invgen/recursive subset
+//!   (Fig. 8(d)).
+//! * [`scalability`] — NTDriver/Product-lines/Psyco/SystemC-style
+//!   generated programs (the 679-program scalability study).
+
+mod generators;
+mod literature;
+mod paper;
+
+pub use generators::{
+    counter_family, diamond_family, equation_family, invgen_family, nested_family,
+    ntdriver, phase_family, product_lines, psyco, recursive_family, systemc,
+};
+pub use literature::{
+    cggmp2005, gj2007, gj2007_bug, gr2006, half_counter, hhk2008, invgen_sum, jm2006,
+    literature_programs, sharma2011,
+};
+pub use paper::{
+    even_odd, fib2calls, fibo_svcomp, fibo_unsafe, fig1, mccarthy91, paper_examples,
+    prime_mult, program_a, program_b, program_c_fibo, rec_hanoi3,
+};
+
+use linarb_frontend::compile;
+use linarb_logic::ChcSystem;
+
+/// Ground truth of a benchmark.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Expected {
+    /// The assertions hold (the CHC system is satisfiable).
+    Safe,
+    /// Some assertion fails (the CHC system is unsatisfiable).
+    Unsafe,
+}
+
+/// Benchmark category, mirroring the paper's suite names.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Category {
+    /// Programs named in the paper's running text.
+    Paper,
+    /// PIE's 82-program suite (Fig. 8(a)).
+    Pie82,
+    /// DIG's linear-invariant suite (Fig. 8(b)).
+    DigLinear,
+    /// SV-COMP `loop-lit`.
+    LoopLit,
+    /// SV-COMP `loop-invgen`.
+    LoopInvgen,
+    /// SV-COMP `recursive-*`.
+    Recursive,
+    /// SV-COMP `ntdrivers`.
+    NtDriver,
+    /// SV-COMP `product-lines`.
+    ProductLines,
+    /// SV-COMP `psyco`.
+    Psyco,
+    /// SV-COMP `systemc`.
+    SystemC,
+}
+
+impl std::fmt::Display for Category {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Category::Paper => "paper",
+            Category::Pie82 => "pie82",
+            Category::DigLinear => "dig-linear",
+            Category::LoopLit => "loop-lit",
+            Category::LoopInvgen => "loop-invgen",
+            Category::Recursive => "recursive",
+            Category::NtDriver => "ntdrivers",
+            Category::ProductLines => "product-lines",
+            Category::Psyco => "psyco",
+            Category::SystemC => "systemc",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// One verification task: a program, its CHC system, and ground truth.
+#[derive(Clone, Debug)]
+pub struct Benchmark {
+    /// Unique name.
+    pub name: String,
+    /// Suite category.
+    pub category: Category,
+    /// Ground truth.
+    pub expected: Expected,
+    /// The compiled CHC system.
+    pub system: ChcSystem,
+    /// Source line count (the paper's `#L`).
+    pub source_lines: usize,
+    /// The mini-C source (absent for CHC-direct benchmarks); used by
+    /// the differential-execution tests.
+    pub source: Option<String>,
+}
+
+impl Benchmark {
+    /// Compiles a mini-C source into a benchmark.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the source does not compile — benchmarks are
+    /// compile-time constants of the corpus, so failures are bugs.
+    pub fn from_mini_c(
+        name: &str,
+        category: Category,
+        expected: Expected,
+        src: &str,
+    ) -> Benchmark {
+        let prog = linarb_frontend::parse_program(src)
+            .unwrap_or_else(|e| panic!("benchmark {name}: {e}"));
+        let system = linarb_frontend::generate_chc(&prog)
+            .unwrap_or_else(|e| panic!("benchmark {name}: {e}"));
+        Benchmark {
+            name: name.to_string(),
+            category,
+            expected,
+            system,
+            source_lines: prog.source_lines,
+            source: Some(src.to_string()),
+        }
+    }
+
+    /// Builds a benchmark directly from SMT-LIB2 HORN text.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the text does not parse.
+    pub fn from_chc(
+        name: &str,
+        category: Category,
+        expected: Expected,
+        text: &str,
+    ) -> Benchmark {
+        let system =
+            linarb_logic::parse_chc(text).unwrap_or_else(|e| panic!("benchmark {name}: {e}"));
+        let source_lines = text.lines().filter(|l| !l.trim().is_empty()).count();
+        Benchmark {
+            name: name.to_string(),
+            category,
+            expected,
+            system,
+            source_lines,
+            source: None,
+        }
+    }
+
+    /// The paper's per-benchmark statistics: (#L, #C, #P, #V).
+    pub fn stats(&self) -> (usize, usize, usize, usize) {
+        (
+            self.source_lines,
+            self.system.num_clauses(),
+            self.system.num_preds(),
+            self.system.num_vars(),
+        )
+    }
+}
+
+/// Verifies that a mini-C source round-trips through the compiler —
+/// used by the corpus tests.
+pub fn compiles(src: &str) -> bool {
+    compile(src).is_ok()
+}
+
+/// The 82-program suite of Fig. 8(a) (PIE comparison): loop programs
+/// whose invariants range from boxes to disjunctions.
+pub fn pie82() -> Vec<Benchmark> {
+    let mut out = Vec::new();
+    out.extend(counter_family(22, 0xA1, Category::Pie82));
+    out.extend(equation_family(12, 0xA2, Category::Pie82));
+    out.extend(phase_family(16, 0xA3, Category::Pie82));
+    out.extend(diamond_family(10, 0xA4, Category::Pie82));
+    out.extend(nested_family(10, 0xA5, Category::Pie82));
+    out.extend(invgen_family(12, 0xA6, Category::Pie82));
+    debug_assert_eq!(out.len(), 82);
+    rename_unique(&mut out);
+    out
+}
+
+/// The DIG comparison suite of Fig. 8(b): programs where linear
+/// invariants suffice — equation-shaped (DIG's strength) and
+/// disjunctive (DIG's weakness).
+pub fn dig_linear() -> Vec<Benchmark> {
+    let mut out = Vec::new();
+    out.extend(equation_family(14, 0xB1, Category::DigLinear));
+    out.extend(phase_family(8, 0xB2, Category::DigLinear));
+    out.extend(diamond_family(8, 0xB3, Category::DigLinear));
+    rename_unique(&mut out);
+    out
+}
+
+/// The 381-program suite of Fig. 8(c) and the solver-comparison
+/// table: SV-COMP `loop-*`/`recursive-*` style programs plus the
+/// literature's hard loops. Size is controlled by `scale`
+/// (`1.0` ≈ the paper's 381).
+pub fn chc381_scaled(scale: f64) -> Vec<Benchmark> {
+    let n = |base: usize| ((base as f64 * scale).round() as usize).max(1);
+    let mut out = Vec::new();
+    out.extend(counter_family(n(90), 0xC1, Category::LoopLit));
+    out.extend(equation_family(n(55), 0xC2, Category::LoopLit));
+    out.extend(phase_family(n(60), 0xC3, Category::LoopInvgen));
+    out.extend(diamond_family(n(45), 0xC4, Category::LoopInvgen));
+    out.extend(nested_family(n(40), 0xC5, Category::LoopLit));
+    out.extend(invgen_family(n(41), 0xC6, Category::LoopInvgen));
+    out.extend(recursive_family(n(30), 0xC7, Category::Recursive));
+    for b in paper_examples() {
+        out.push(b);
+    }
+    for b in literature_programs() {
+        out.push(b);
+    }
+    rename_unique(&mut out);
+    out
+}
+
+/// The full-size 381-program suite.
+pub fn chc381() -> Vec<Benchmark> {
+    let out = chc381_scaled(1.0);
+    debug_assert_eq!(out.len(), 381);
+    out
+}
+
+/// The 135-program suite of Fig. 8(d): `loop-lit`, `loop-invgen` and
+/// `recursive-*`.
+pub fn svcomp135() -> Vec<Benchmark> {
+    let mut out = Vec::new();
+    out.extend(counter_family(30, 0xD1, Category::LoopLit));
+    out.extend(invgen_family(25, 0xD2, Category::LoopInvgen));
+    out.extend(phase_family(20, 0xD3, Category::LoopLit));
+    out.extend(diamond_family(14, 0xD4, Category::LoopInvgen));
+    out.extend(recursive_family(35, 0xD5, Category::Recursive));
+    out.push(fibo_svcomp());
+    out.push(even_odd());
+    out.push(rec_hanoi3());
+    out.push(fib2calls());
+    out.push(prime_mult());
+    out.push(mccarthy91());
+    out.push(program_c_fibo());
+    out.push(fibo_unsafe());
+    out.push(fig1());
+    out.push(program_a());
+    out.push(program_b());
+    debug_assert_eq!(out.len(), 135);
+    rename_unique(&mut out);
+    out
+}
+
+/// The scalability study (NTDriver / Product-lines / Psyco / SystemC):
+/// generated programs of growing size; `sizes` controls how many
+/// instances of each family.
+pub fn scalability(sizes: &[usize]) -> Vec<Benchmark> {
+    let mut out = Vec::new();
+    for (i, &k) in sizes.iter().enumerate() {
+        out.push(product_lines(k, 0xE1 + i as u64));
+        out.push(psyco(k, 0xE2 + i as u64));
+        out.push(systemc(k, 0xE3 + i as u64));
+        out.push(ntdriver(k, 0xE4 + i as u64));
+    }
+    rename_unique(&mut out);
+    out
+}
+
+fn rename_unique(benches: &mut [Benchmark]) {
+    use std::collections::HashMap;
+    let mut seen: HashMap<String, usize> = HashMap::new();
+    for b in benches.iter_mut() {
+        let n = seen.entry(b.name.clone()).or_insert(0);
+        if *n > 0 {
+            b.name = format!("{}_{}", b.name, n);
+        }
+        *n += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_examples_compile() {
+        let all = paper_examples();
+        assert_eq!(all.len(), 11);
+        for b in &all {
+            assert!(b.system.num_clauses() > 0, "{} has no clauses", b.name);
+        }
+    }
+
+    #[test]
+    fn suites_have_expected_sizes() {
+        assert_eq!(pie82().len(), 82);
+        assert_eq!(dig_linear().len(), 30);
+        assert_eq!(svcomp135().len(), 135);
+        assert_eq!(chc381().len(), 381);
+        assert_eq!(scalability(&[2, 4]).len(), 8);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        for suite in [pie82(), dig_linear(), svcomp135(), chc381()] {
+            let mut names: Vec<&str> = suite.iter().map(|b| b.name.as_str()).collect();
+            let total = names.len();
+            names.sort();
+            names.dedup();
+            assert_eq!(names.len(), total, "duplicate benchmark names");
+        }
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let a = counter_family(5, 42, Category::LoopLit);
+        let b = counter_family(5, 42, Category::LoopLit);
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.system.to_smtlib(), y.system.to_smtlib());
+        }
+    }
+
+    #[test]
+    fn scalability_grows_with_k() {
+        let small = product_lines(2, 1);
+        let big = product_lines(12, 1);
+        assert!(big.source_lines > small.source_lines);
+        assert!(big.system.num_clauses() >= small.system.num_clauses());
+        assert!(big.stats().3 > small.stats().3, "more variables in bigger programs");
+    }
+
+    #[test]
+    fn mixture_of_verdicts() {
+        let suite = chc381();
+        let unsafe_count = suite
+            .iter()
+            .filter(|b| b.expected == Expected::Unsafe)
+            .count();
+        assert!(unsafe_count > 10, "suite needs unsafe programs, got {unsafe_count}");
+        assert!(unsafe_count < suite.len() / 2);
+    }
+}

@@ -1,0 +1,202 @@
+//! Hand-written benchmarks from the loop-invariant literature — the
+//! "additional complicated loop programs from our related work
+//! (e.g. [8, 14, 29])" that §6 mentions: classic programs from
+//! InvGen [14], abductive inference [8], and the data-driven
+//! precondition papers.
+
+use crate::{Benchmark, Category, Expected};
+
+/// Gulwani–Jojic style two-phase counter (`gj2007`).
+pub fn gj2007() -> Benchmark {
+    Benchmark::from_mini_c(
+        "gj2007",
+        Category::LoopLit,
+        Expected::Safe,
+        r#"
+        void main() {
+            int x = 0; int y = 50;
+            while (x < 100) {
+                if (x < 50) { x = x + 1; }
+                else { x = x + 1; y = y + 1; }
+            }
+            assert(y == 100);
+        }
+    "#,
+    )
+}
+
+/// Costan–Gaubert–Goubault–Martel–Putot style bouncing counter.
+pub fn cggmp2005() -> Benchmark {
+    Benchmark::from_mini_c(
+        "cggmp2005",
+        Category::LoopLit,
+        Expected::Safe,
+        r#"
+        void main() {
+            int i = 1; int j = 10;
+            while (j >= i) {
+                i = i + 2;
+                j = j - 1;
+            }
+            assert(j == 6);
+        }
+    "#,
+    )
+}
+
+/// Gopan–Reps phased loop (`gr2006`): needs a disjunctive invariant.
+pub fn gr2006() -> Benchmark {
+    Benchmark::from_mini_c(
+        "gr2006",
+        Category::LoopLit,
+        Expected::Safe,
+        r#"
+        void main() {
+            int x = 0; int y = 0;
+            while (*) {
+                if (x <= 50) { y = y + 1; }
+                else { y = y - 1; }
+                if (y < 0) { assert(x == 102); }
+                else { x = x + 1; }
+            }
+        }
+    "#,
+    )
+}
+
+/// Jhala–McMillan style lock-step counters (`jm2006`).
+pub fn jm2006() -> Benchmark {
+    Benchmark::from_mini_c(
+        "jm2006",
+        Category::LoopInvgen,
+        Expected::Safe,
+        r#"
+        void main() {
+            int i = nondet(); int j = nondet();
+            assume(i >= 0 && j >= 0);
+            int x = i; int y = j;
+            while (x != 0) {
+                x = x - 1;
+                y = y - 1;
+            }
+            if (i == j) { assert(y == 0); }
+        }
+    "#,
+    )
+}
+
+/// InvGen's `sum1` style accumulation with bound.
+pub fn invgen_sum() -> Benchmark {
+    Benchmark::from_mini_c(
+        "invgen_sum",
+        Category::LoopInvgen,
+        Expected::Safe,
+        r#"
+        void main() {
+            int n = nondet(); int i = 0; int sum = 0;
+            assume(n >= 0);
+            while (i < n) {
+                sum = sum + i;
+                i = i + 1;
+            }
+            assert(sum >= 0);
+        }
+    "#,
+    )
+}
+
+/// The `hhk2008` adaptation: simultaneous bounded increments.
+pub fn hhk2008() -> Benchmark {
+    Benchmark::from_mini_c(
+        "hhk2008",
+        Category::LoopLit,
+        Expected::Safe,
+        r#"
+        void main() {
+            int a = nondet(); int b = nondet();
+            assume(a <= 1000000 && b >= 0 && b <= 1000000);
+            int res = a; int cnt = b;
+            while (cnt > 0) {
+                cnt = cnt - 1;
+                res = res + 1;
+            }
+            assert(res == a + b);
+        }
+    "#,
+    )
+}
+
+/// Sharma et al.'s motivating split loop (`sharma2011`): one loop, two
+/// phases, invariant needs a disjunction.
+pub fn sharma2011() -> Benchmark {
+    Benchmark::from_mini_c(
+        "sharma2011",
+        Category::LoopLit,
+        Expected::Safe,
+        r#"
+        void main() {
+            int x = 0; int y = 0;
+            while (*) {
+                if (x < 50) { y = y + 1; }
+                else { y = y - 1; }
+                x = x + 1;
+            }
+            assert(x < 50 || y >= 0 - 1000000);
+        }
+    "#,
+    )
+}
+
+/// A "half" benchmark: counting every other iteration; needs parity.
+pub fn half_counter() -> Benchmark {
+    Benchmark::from_mini_c(
+        "half_counter",
+        Category::LoopLit,
+        Expected::Safe,
+        r#"
+        void main() {
+            int i = 0; int k = 0; int n = nondet();
+            assume(n >= 0);
+            while (i < 2 * n) {
+                if (i % 2 == 0) { k = k + 1; }
+                i = i + 1;
+            }
+            assert(k >= 0);
+        }
+    "#,
+    )
+}
+
+/// An unsafe literature variant: `gj2007` with an off-by-one claim.
+pub fn gj2007_bug() -> Benchmark {
+    Benchmark::from_mini_c(
+        "gj2007_bug",
+        Category::LoopLit,
+        Expected::Unsafe,
+        r#"
+        void main() {
+            int x = 0; int y = 50;
+            while (x < 100) {
+                if (x < 50) { x = x + 1; }
+                else { x = x + 1; y = y + 1; }
+            }
+            assert(y == 101);
+        }
+    "#,
+    )
+}
+
+/// All literature-named benchmarks.
+pub fn literature_programs() -> Vec<Benchmark> {
+    vec![
+        gj2007(),
+        cggmp2005(),
+        gr2006(),
+        jm2006(),
+        invgen_sum(),
+        hhk2008(),
+        sharma2011(),
+        half_counter(),
+        gj2007_bug(),
+    ]
+}

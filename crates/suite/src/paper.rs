@@ -1,0 +1,251 @@
+//! The programs named in the paper: Fig. 1, programs (a)–(c), the
+//! SV-COMP fibonacci variant, and the recursive-category programs
+//! characterized in §6 (`EvenOdd`, `recHanoi3`, `Fib2calls`, and a
+//! `Prime`-inspired multiplication benchmark — the original uses a
+//! `mult`/`isPrime` encoding whose essence is a recursive
+//! multiplication summary).
+
+use crate::{Benchmark, Category, Expected};
+
+/// Fig. 1: `x=1; y=0; while(*){x+=y; y++;} assert(x>=y);`
+pub fn fig1() -> Benchmark {
+    Benchmark::from_mini_c(
+        "fig1",
+        Category::Paper,
+        Expected::Safe,
+        r#"
+        void main() {
+            int x = 1; int y = 0;
+            while (*) { x = x + y; y = y + 1; }
+            assert(x >= y);
+        }
+    "#,
+    )
+}
+
+/// Program (a), Fig. 3: needs a ∨∧ invariant (the diamond).
+pub fn program_a() -> Benchmark {
+    Benchmark::from_mini_c(
+        "program_a",
+        Category::Paper,
+        Expected::Safe,
+        r#"
+        void main() {
+            int x = 0; int y = nondet();
+            while (y != 0) {
+                if (y < 0) { x = x - 1; y = y + 1; }
+                else       { x = x + 1; y = y - 1; }
+                assert(x != 0);
+            }
+        }
+    "#,
+    )
+}
+
+/// Program (b), Fig. 4: needs a Polyhedral invariant with parity.
+pub fn program_b() -> Benchmark {
+    Benchmark::from_mini_c(
+        "program_b",
+        Category::Paper,
+        Expected::Safe,
+        r#"
+        void main() {
+            int x = 0; int y = 0; int i = 0; int n = nondet();
+            while (i < n) {
+                i = i + 1;
+                x = x + 1;
+                if (i % 2 == 0) { y = y + 1; }
+            }
+            assert(i % 2 != 0 || x == 2 * y);
+        }
+    "#,
+    )
+}
+
+/// Program (c), Fig. 5: recursive fibonacci, `fibo(x) >= x - 1`.
+pub fn program_c_fibo() -> Benchmark {
+    Benchmark::from_mini_c(
+        "program_c_fibo",
+        Category::Paper,
+        Expected::Safe,
+        r#"
+        int fibo(int x) {
+            if (x < 1) { return 0; }
+            else { if (x == 1) { return 1; }
+                   else { return fibo(x - 1) + fibo(x - 2); } }
+        }
+        void main() {
+            int n = nondet();
+            assert(fibo(n) >= n - 1);
+        }
+    "#,
+    )
+}
+
+/// §2.3's hard SV-COMP variant: `assert(x < 9 || fibo(x) >= 34)`.
+pub fn fibo_svcomp() -> Benchmark {
+    Benchmark::from_mini_c(
+        "fibo_svcomp",
+        Category::Recursive,
+        Expected::Safe,
+        r#"
+        int fibo(int x) {
+            if (x < 1) { return 0; }
+            else { if (x == 1) { return 1; }
+                   else { return fibo(x - 1) + fibo(x - 2); } }
+        }
+        void main() {
+            int x = nondet();
+            assert(x < 9 || fibo(x) >= 34);
+        }
+    "#,
+    )
+}
+
+/// An unsafe fibonacci claim (`fibo(x) >= x` fails at `x = 2`).
+pub fn fibo_unsafe() -> Benchmark {
+    Benchmark::from_mini_c(
+        "fibo_unsafe",
+        Category::Recursive,
+        Expected::Unsafe,
+        r#"
+        int fibo(int x) {
+            if (x < 1) { return 0; }
+            else { if (x == 1) { return 1; }
+                   else { return fibo(x - 1) + fibo(x - 2); } }
+        }
+        void main() {
+            int x = nondet();
+            assume(x > 1);
+            assert(fibo(x) >= x);
+        }
+    "#,
+    )
+}
+
+/// `EvenOdd`-style mutual recursion with a parity property.
+pub fn even_odd() -> Benchmark {
+    Benchmark::from_mini_c(
+        "even_odd",
+        Category::Recursive,
+        Expected::Safe,
+        r#"
+        int is_even(int n) {
+            if (n == 0) { return 1; }
+            if (n == 1) { return 0; }
+            return is_even(n - 2);
+        }
+        void main() {
+            int n = nondet();
+            assume(n >= 0);
+            assume(n % 2 == 0);
+            int r = is_even(n);
+            assert(r == 1 || n % 2 == 1);
+        }
+    "#,
+    )
+}
+
+/// `recHanoi3`-style: the recursive move count is positive.
+pub fn rec_hanoi3() -> Benchmark {
+    Benchmark::from_mini_c(
+        "rec_hanoi3",
+        Category::Recursive,
+        Expected::Safe,
+        r#"
+        int hanoi(int n) {
+            if (n == 1) { return 1; }
+            return 2 * hanoi(n - 1) + 1;
+        }
+        void main() {
+            int n = nondet();
+            assume(n >= 1);
+            int r = hanoi(n);
+            assert(r >= 1);
+        }
+    "#,
+    )
+}
+
+/// `Fib2calls`-style: two entangled recursive functions.
+pub fn fib2calls() -> Benchmark {
+    Benchmark::from_mini_c(
+        "fib2calls",
+        Category::Recursive,
+        Expected::Safe,
+        r#"
+        int f(int x) {
+            if (x < 1) { return 0; }
+            return g(x - 1) + 1;
+        }
+        int g(int x) {
+            if (x < 1) { return 0; }
+            return f(x - 1) + x;
+        }
+        void main() {
+            int n = nondet();
+            assert(f(n) >= 0);
+        }
+    "#,
+    )
+}
+
+/// `Prime`-inspired: recursive multiplication summary
+/// (`mult(a,b) >= a + b - 1` for positive operands).
+pub fn prime_mult() -> Benchmark {
+    Benchmark::from_mini_c(
+        "prime_mult",
+        Category::Recursive,
+        Expected::Safe,
+        r#"
+        int mult(int a, int b) {
+            if (b <= 0) { return 0; }
+            return mult(a, b - 1) + a;
+        }
+        void main() {
+            int a = nondet(); int b = nondet();
+            assume(a >= 1); assume(b >= 1);
+            int n = mult(a, b);
+            assert(n >= a + b - 1);
+        }
+    "#,
+    )
+}
+
+/// McCarthy's 91 function — a classic recursive-summary benchmark.
+pub fn mccarthy91() -> Benchmark {
+    Benchmark::from_mini_c(
+        "mccarthy91",
+        Category::Recursive,
+        Expected::Safe,
+        r#"
+        int mc(int n) {
+            if (n > 100) { return n - 10; }
+            return mc(mc(n + 11));
+        }
+        void main() {
+            int n = nondet();
+            assume(n <= 100);
+            int r = mc(n);
+            assert(r == 91);
+        }
+    "#,
+    )
+}
+
+/// All named paper programs.
+pub fn paper_examples() -> Vec<Benchmark> {
+    vec![
+        fig1(),
+        program_a(),
+        program_b(),
+        program_c_fibo(),
+        fibo_svcomp(),
+        fibo_unsafe(),
+        even_odd(),
+        rec_hanoi3(),
+        fib2calls(),
+        prime_mult(),
+        mccarthy91(),
+    ]
+}

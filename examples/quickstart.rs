@@ -1,0 +1,51 @@
+//! Quickstart: verify the paper's Fig. 1 program and print the
+//! learned loop invariant.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use linarb::frontend::compile;
+use linarb::smt::Budget;
+use linarb::solver::{CegarSolver, SolveResult, SolverConfig};
+use std::time::Duration;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let src = r#"
+        void main() {
+            int x = 1; int y = 0;
+            while (*) { x = x + y; y = y + 1; }
+            assert(x >= y);
+        }
+    "#;
+    println!("program:\n{src}");
+    let sys = compile(src)?;
+    println!(
+        "CHC system: {} clauses, {} unknown predicate(s)\n",
+        sys.num_clauses(),
+        sys.num_preds()
+    );
+    println!("{}", sys.to_smtlib());
+
+    let mut solver = CegarSolver::new(&sys, SolverConfig::default());
+    match solver.solve(&Budget::timeout(Duration::from_secs(30))) {
+        SolveResult::Sat(interp) => {
+            println!("verdict: SAFE (CHC system satisfiable)\n");
+            for (pred, formula) in &interp {
+                println!("learned invariant for {}:", sys.pred(*pred).name);
+                println!("  {formula}");
+            }
+            println!(
+                "\nstats: {} CEGAR iterations, {} SMT checks, {} samples",
+                solver.stats().iterations,
+                solver.stats().smt_checks,
+                solver.stats().samples
+            );
+        }
+        SolveResult::Unsat(cex) => {
+            println!("verdict: UNSAFE — counterexample derivation of {} steps", cex.size());
+        }
+        SolveResult::Unknown(reason) => {
+            println!("verdict: UNKNOWN ({reason:?})");
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,66 @@
+//! Head-to-head: the data-driven solver vs the PDR and interpolation
+//! baselines on the paper's running examples — a miniature of the
+//! Fig. 8(c)/(d) comparison, including the Fig. 1 system on which the
+//! paper reports Spacer diverging.
+//!
+//! Run with `cargo run --release --example solver_comparison`.
+
+use linarb::baselines::{
+    InterpConfig, InterpMode, PdrConfig, PdrSolver, UnwindInterp,
+};
+use linarb::smt::Budget;
+use linarb::solver::{CegarSolver, SolverConfig};
+use linarb::suite::{paper_examples, Expected};
+use std::time::{Duration, Instant};
+
+fn main() {
+    let timeout = Duration::from_secs(3);
+    println!(
+        "{:<18} {:>9} {:>12} {:>12} {:>12} {:>12}",
+        "benchmark", "expected", "LinArb", "Spacer", "GPDR", "Duality"
+    );
+    for bench in paper_examples() {
+        let expected = match bench.expected {
+            Expected::Safe => "safe",
+            Expected::Unsafe => "unsafe",
+        };
+        let lin = {
+            let start = Instant::now();
+            let mut s = CegarSolver::new(&bench.system, SolverConfig::default());
+            let r = s.solve(&Budget::timeout(timeout));
+            verdict(r.is_sat(), r.is_unsat(), start.elapsed())
+        };
+        let spacer = pdr(&bench.system, true, timeout);
+        let gpdr = pdr(&bench.system, false, timeout);
+        let duality = {
+            let start = Instant::now();
+            let mut s = UnwindInterp::new(
+                &bench.system,
+                InterpConfig { mode: InterpMode::Duality, ..InterpConfig::default() },
+            );
+            let r = s.solve(&Budget::timeout(timeout));
+            verdict(r.is_sat(), r.is_unsat(), start.elapsed())
+        };
+        println!(
+            "{:<18} {:>9} {:>12} {:>12} {:>12} {:>12}",
+            bench.name, expected, lin, spacer, gpdr, duality
+        );
+    }
+}
+
+fn pdr(sys: &linarb::logic::ChcSystem, spacer: bool, timeout: Duration) -> String {
+    let start = Instant::now();
+    let mut s = PdrSolver::new(sys, PdrConfig { spacer_mode: spacer, ..PdrConfig::default() });
+    let r = s.solve(&Budget::timeout(timeout));
+    verdict(r.is_sat(), r.is_unsat(), start.elapsed())
+}
+
+fn verdict(sat: bool, unsat: bool, t: Duration) -> String {
+    if sat {
+        format!("sat {:.2}s", t.as_secs_f64())
+    } else if unsat {
+        format!("unsat {:.2}s", t.as_secs_f64())
+    } else {
+        "timeout".to_string()
+    }
+}

@@ -1,0 +1,118 @@
+//! Differential testing: concrete executions of the corpus programs
+//! must agree with the symbolic verdicts.
+//!
+//! * If random executions hit an assertion failure, the benchmark's
+//!   ground truth must be `Unsafe` **and** no solver engine may ever
+//!   claim `Sat` for it.
+//! * If a benchmark is marked `Unsafe`, some random execution should
+//!   witness the failure (for these small programs) — validating the
+//!   corpus's ground-truth labels themselves.
+
+use linarb::frontend::{execute, parse_program, ExecOutcome, NondetScript};
+use linarb::smt::Budget;
+use linarb::solver::{solve_system, SolverConfig};
+use linarb::suite::{chc381_scaled, Expected};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Duration;
+
+fn random_runs(src: &str, runs: usize, seed: u64) -> (bool, bool) {
+    // (saw_assert_failure, saw_completion)
+    let prog = parse_program(src).expect("corpus programs parse");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut failed = false;
+    let mut completed = false;
+    for _ in 0..runs {
+        let script: Vec<i128> = (0..64)
+            .map(|_| {
+                // mix of small values and loop-continue bits
+                if rng.gen_bool(0.5) {
+                    rng.gen_range(-8..=8)
+                } else {
+                    rng.gen_range(0..=1)
+                }
+            })
+            .collect();
+        match execute(&prog, NondetScript::new(script), 50_000) {
+            ExecOutcome::AssertFailed => failed = true,
+            ExecOutcome::Completed => completed = true,
+            _ => {}
+        }
+        if failed && completed {
+            break;
+        }
+    }
+    (failed, completed)
+}
+
+#[test]
+fn executions_agree_with_ground_truth() {
+    let suite = chc381_scaled(0.12);
+    for bench in &suite {
+        let Some(src) = &bench.source else { continue };
+        let (failed, _) = random_runs(src, 400, 0xD1FF ^ bench.name.len() as u64);
+        if failed {
+            assert_eq!(
+                bench.expected,
+                Expected::Unsafe,
+                "{}: concrete execution violated an assertion but the \
+                 benchmark is labeled Safe — corpus ground truth is wrong",
+                bench.name
+            );
+        }
+    }
+}
+
+#[test]
+fn unsafe_labels_have_concrete_witnesses() {
+    // Every Unsafe benchmark in the sample should be falsifiable by
+    // random testing (they are shallow by construction).
+    let suite = chc381_scaled(0.12);
+    let mut checked = 0;
+    for bench in &suite {
+        if bench.expected != Expected::Unsafe {
+            continue;
+        }
+        let Some(src) = &bench.source else { continue };
+        let (failed, _) = random_runs(src, 3_000, 0xFEED ^ bench.name.len() as u64);
+        assert!(
+            failed,
+            "{}: labeled Unsafe but 3000 random runs found no violation",
+            bench.name
+        );
+        checked += 1;
+    }
+    assert!(checked > 0, "sample must contain unsafe benchmarks");
+}
+
+#[test]
+fn solver_never_calls_concretely_unsafe_programs_safe() {
+    // The strongest soundness check: fuzz + verify on the same
+    // programs; a Sat verdict together with a concrete violation is a
+    // soundness bug somewhere in the pipeline.
+    let suite = chc381_scaled(0.08);
+    for bench in suite.iter().take(30) {
+        let Some(src) = &bench.source else { continue };
+        let (failed, _) = random_runs(src, 500, 42);
+        let verdict = solve_system(
+            &bench.system,
+            SolverConfig::default(),
+            &Budget::timeout(Duration::from_millis(1500)),
+        );
+        if failed {
+            assert!(
+                !verdict.is_sat(),
+                "{}: solver says Sat but a concrete run violates an assertion",
+                bench.name
+            );
+        }
+        if verdict.is_unsat() {
+            assert_eq!(
+                bench.expected,
+                Expected::Unsafe,
+                "{}: solver refutes a Safe-labeled program",
+                bench.name
+            );
+        }
+    }
+}
