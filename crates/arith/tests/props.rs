@@ -1,120 +1,178 @@
 //! Property-based tests: BigInt/BigRational agree with i128 reference
 //! semantics and satisfy ring/field/order laws.
+//!
+//! Randomness comes from the in-tree deterministic PRNG; each case's
+//! seed is `base_seed + case_index`, so failures reproduce exactly.
 
 use linarb_arith::{BigInt, BigRational};
-use proptest::prelude::*;
+use linarb_testutil::{any_i128, any_i64, cases, XorShiftRng};
+
+const CASES: u64 = 256;
 
 fn big(v: i128) -> BigInt {
     BigInt::from(v)
 }
 
-proptest! {
-    #[test]
-    fn add_matches_i128(a in -1_000_000_000_000i128..1_000_000_000_000, b in -1_000_000_000_000i128..1_000_000_000_000) {
-        prop_assert_eq!(&big(a) + &big(b), big(a + b));
-    }
+#[test]
+fn add_matches_i128() {
+    cases(CASES, 0xA001, |rng| {
+        let a = rng.gen_range(-1_000_000_000_000i128..1_000_000_000_000);
+        let b = rng.gen_range(-1_000_000_000_000i128..1_000_000_000_000);
+        assert_eq!(&big(a) + &big(b), big(a + b));
+    });
+}
 
-    #[test]
-    fn mul_matches_i128(a in -1_000_000_000i128..1_000_000_000, b in -1_000_000_000i128..1_000_000_000) {
-        prop_assert_eq!(&big(a) * &big(b), big(a * b));
-    }
+#[test]
+fn mul_matches_i128() {
+    cases(CASES, 0xA002, |rng| {
+        let a = rng.gen_range(-1_000_000_000i128..1_000_000_000);
+        let b = rng.gen_range(-1_000_000_000i128..1_000_000_000);
+        assert_eq!(&big(a) * &big(b), big(a * b));
+    });
+}
 
-    #[test]
-    fn div_rem_matches_i128(a in any::<i64>(), b in any::<i64>()) {
-        prop_assume!(b != 0);
+#[test]
+fn div_rem_matches_i128() {
+    cases(CASES, 0xA003, |rng| {
+        let a = any_i64(rng);
+        let b = any_i64(rng);
+        if b == 0 {
+            return;
+        }
         let (q, r) = big(a as i128).div_rem(&big(b as i128));
-        prop_assert_eq!(q, big((a as i128) / (b as i128)));
-        prop_assert_eq!(r, big((a as i128) % (b as i128)));
-    }
+        assert_eq!(q, big((a as i128) / (b as i128)));
+        assert_eq!(r, big((a as i128) % (b as i128)));
+    });
+}
 
-    #[test]
-    fn div_rem_reconstructs(a in any::<i128>(), b in any::<i128>()) {
-        prop_assume!(b != 0);
+#[test]
+fn div_rem_reconstructs() {
+    cases(CASES, 0xA004, |rng| {
+        let a = any_i128(rng);
+        let b = any_i128(rng);
+        if b == 0 {
+            return;
+        }
         let (q, r) = big(a).div_rem(&big(b));
-        prop_assert_eq!(&(&q * &big(b)) + &r, big(a));
-        prop_assert!(r.abs() < big(b).abs());
-    }
+        assert_eq!(&(&q * &big(b)) + &r, big(a));
+        assert!(r.abs() < big(b).abs());
+    });
+}
 
-    #[test]
-    fn floor_mod_in_range(a in any::<i64>(), b in 1i64..1_000_000) {
+#[test]
+fn floor_mod_in_range() {
+    cases(CASES, 0xA005, |rng| {
+        let a = any_i64(rng);
+        let b = rng.gen_range(1i64..1_000_000);
         let m = big(a as i128).mod_floor(&big(b as i128));
-        prop_assert!(!m.is_negative());
-        prop_assert!(m < big(b as i128));
+        assert!(!m.is_negative());
+        assert!(m < big(b as i128));
         let (q, r) = big(a as i128).div_mod_floor(&big(b as i128));
-        prop_assert_eq!(&(&q * &big(b as i128)) + &r, big(a as i128));
-    }
+        assert_eq!(&(&q * &big(b as i128)) + &r, big(a as i128));
+    });
+}
 
-    #[test]
-    fn ordering_matches_i128(a in any::<i128>(), b in any::<i128>()) {
-        prop_assert_eq!(big(a).cmp(&big(b)), a.cmp(&b));
-    }
+#[test]
+fn ordering_matches_i128() {
+    cases(CASES, 0xA006, |rng| {
+        let a = any_i128(rng);
+        let b = any_i128(rng);
+        assert_eq!(big(a).cmp(&big(b)), a.cmp(&b));
+    });
+}
 
-    #[test]
-    fn parse_display_roundtrip(a in any::<i128>()) {
-        let v = big(a);
+#[test]
+fn parse_display_roundtrip() {
+    cases(CASES, 0xA007, |rng| {
+        let v = big(any_i128(rng));
         let back: BigInt = v.to_string().parse().unwrap();
-        prop_assert_eq!(back, v);
-    }
+        assert_eq!(back, v);
+    });
+}
 
-    #[test]
-    fn gcd_divides_both(a in any::<i64>(), b in any::<i64>()) {
+#[test]
+fn gcd_divides_both() {
+    cases(CASES, 0xA008, |rng| {
+        let a = any_i64(rng);
+        let b = any_i64(rng);
         let g = BigInt::gcd(&big(a as i128), &big(b as i128));
         if a != 0 || b != 0 {
-            prop_assert!(!g.is_zero());
-            prop_assert!(big(a as i128).div_rem(&g).1.is_zero());
-            prop_assert!(big(b as i128).div_rem(&g).1.is_zero());
+            assert!(!g.is_zero());
+            assert!(big(a as i128).div_rem(&g).1.is_zero());
+            assert!(big(b as i128).div_rem(&g).1.is_zero());
         } else {
-            prop_assert!(g.is_zero());
+            assert!(g.is_zero());
         }
-    }
+    });
+}
 
-    #[test]
-    fn large_mul_div_roundtrip(a in any::<i128>(), b in any::<i128>()) {
-        prop_assume!(a != 0);
+#[test]
+fn large_mul_div_roundtrip() {
+    cases(CASES, 0xA009, |rng| {
+        let a = any_i128(rng);
+        let b = any_i128(rng);
+        if a == 0 {
+            return;
+        }
         let prod = &big(a) * &big(b);
         let (q, r) = prod.div_rem(&big(a));
-        prop_assert_eq!(q, big(b));
-        prop_assert!(r.is_zero());
-    }
+        assert_eq!(q, big(b));
+        assert!(r.is_zero());
+    });
+}
 
-    #[test]
-    fn rational_field_laws(an in -10_000i64..10_000, ad in 1i64..100,
-                           bn in -10_000i64..10_000, bd in 1i64..100,
-                           cn in -10_000i64..10_000, cd in 1i64..100) {
-        let a = BigRational::new(BigInt::from(an), BigInt::from(ad));
-        let b = BigRational::new(BigInt::from(bn), BigInt::from(bd));
-        let c = BigRational::new(BigInt::from(cn), BigInt::from(cd));
+#[test]
+fn rational_field_laws() {
+    let rat = |rng: &mut XorShiftRng| {
+        BigRational::new(
+            BigInt::from(rng.gen_range(-10_000i64..10_000)),
+            BigInt::from(rng.gen_range(1i64..100)),
+        )
+    };
+    cases(CASES, 0xA00A, |rng| {
+        let a = rat(rng);
+        let b = rat(rng);
+        let c = rat(rng);
         // commutativity / associativity / distributivity
-        prop_assert_eq!(&a + &b, &b + &a);
-        prop_assert_eq!(&(&a + &b) + &c, &a + &(&b + &c));
-        prop_assert_eq!(&a * &b, &b * &a);
-        prop_assert_eq!(&(&a * &b) * &c, &a * &(&b * &c));
-        prop_assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+        assert_eq!(&a + &b, &b + &a);
+        assert_eq!(&(&a + &b) + &c, &a + &(&b + &c));
+        assert_eq!(&a * &b, &b * &a);
+        assert_eq!(&(&a * &b) * &c, &a * &(&b * &c));
+        assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
         // inverses
-        prop_assert_eq!(&a - &a, BigRational::zero());
+        assert_eq!(&a - &a, BigRational::zero());
         if !b.is_zero() {
-            prop_assert_eq!(&(&a / &b) * &b, a.clone());
+            assert_eq!(&(&a / &b) * &b, a.clone());
         }
-    }
+    });
+}
 
-    #[test]
-    fn rational_order_total(an in -1000i64..1000, ad in 1i64..50,
-                            bn in -1000i64..1000, bd in 1i64..50) {
+#[test]
+fn rational_order_total() {
+    cases(CASES, 0xA00B, |rng| {
+        let an = rng.gen_range(-1000i64..1000);
+        let ad = rng.gen_range(1i64..50);
+        let bn = rng.gen_range(-1000i64..1000);
+        let bd = rng.gen_range(1i64..50);
         let a = BigRational::new(BigInt::from(an), BigInt::from(ad));
         let b = BigRational::new(BigInt::from(bn), BigInt::from(bd));
         let lhs = (an as i128) * (bd as i128);
         let rhs = (bn as i128) * (ad as i128);
-        prop_assert_eq!(a.cmp(&b), lhs.cmp(&rhs));
-    }
+        assert_eq!(a.cmp(&b), lhs.cmp(&rhs));
+    });
+}
 
-    #[test]
-    fn rational_floor_ceil(an in -100_000i64..100_000, ad in 1i64..1000) {
+#[test]
+fn rational_floor_ceil() {
+    cases(CASES, 0xA00C, |rng| {
+        let an = rng.gen_range(-100_000i64..100_000);
+        let ad = rng.gen_range(1i64..1000);
         let a = BigRational::new(BigInt::from(an), BigInt::from(ad));
         let fl = a.floor();
         let ce = a.ceil();
-        prop_assert!(BigRational::from(fl.clone()) <= a);
-        prop_assert!(a <= BigRational::from(ce.clone()));
+        assert!(BigRational::from(fl.clone()) <= a);
+        assert!(a <= BigRational::from(ce.clone()));
         let diff = &ce - &fl;
-        prop_assert!(diff == BigInt::zero() || diff == BigInt::one());
-    }
+        assert!(diff == BigInt::zero() || diff == BigInt::one());
+    });
 }

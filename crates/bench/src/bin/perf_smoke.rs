@@ -1,0 +1,211 @@
+//! Perf smoke test for the incremental CEGAR oracle.
+//!
+//! Runs a fixed benchmark selection twice — once with the fresh
+//! (rebuild-per-check) oracle and once with the incremental one — and
+//! emits a `BENCH_<n>.json` report in the repository root with wall
+//! times and oracle statistics per mode. Definite verdicts must never
+//! contradict each other; a sat/unsat disagreement is a hard failure
+//! (one mode timing out where the other solves is a perf difference,
+//! not a soundness one).
+//!
+//! Knobs: `LINARB_SMOKE_TIMEOUT_MS` (per-benchmark budget, default
+//! 60000) and `LINARB_SMOKE_OUT_DIR` (report directory, default `.`).
+
+use linarb_bench::env_or;
+use linarb_smt::Budget;
+use linarb_solver::{CegarSolver, OracleMode, SolveResult, SolverConfig};
+use linarb_suite::{even_odd, fibo_unsafe, fig1, program_a, program_c_fibo};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+struct ModeRun {
+    verdicts: Vec<&'static str>,
+    wall: Duration,
+    smt_checks: usize,
+    smt_checks_skipped: usize,
+    ctx_reuse_hits: usize,
+    learned_clauses: u64,
+    per_bench: Vec<(String, Duration)>,
+}
+
+fn run_mode(mode: OracleMode, suite: &[linarb_suite::Benchmark], timeout: Duration) -> ModeRun {
+    let mut run = ModeRun {
+        verdicts: Vec::new(),
+        wall: Duration::ZERO,
+        smt_checks: 0,
+        smt_checks_skipped: 0,
+        ctx_reuse_hits: 0,
+        learned_clauses: 0,
+        per_bench: Vec::new(),
+    };
+    for b in suite {
+        let config = SolverConfig::default().with_oracle(mode);
+        let mut solver = CegarSolver::new(&b.system, config);
+        let start = Instant::now();
+        let verdict = match solver.solve(&Budget::timeout(timeout)) {
+            SolveResult::Sat(_) => "sat",
+            SolveResult::Unsat(_) => "unsat",
+            SolveResult::Unknown(_) => "unknown",
+        };
+        let elapsed = start.elapsed();
+        let stats = solver.stats();
+        run.verdicts.push(verdict);
+        run.wall += elapsed;
+        run.smt_checks += stats.smt_checks;
+        run.smt_checks_skipped += stats.smt_checks_skipped;
+        run.ctx_reuse_hits += stats.ctx_reuse_hits;
+        run.learned_clauses += stats.learned_clauses;
+        run.per_bench.push((b.name.clone(), elapsed));
+        eprintln!(
+            "  {:24} {:8} {:>9.3}s  checks {:4} (skipped {:3})",
+            b.name,
+            verdict,
+            elapsed.as_secs_f64(),
+            stats.smt_checks,
+            stats.smt_checks_skipped,
+        );
+    }
+    run
+}
+
+/// First unused `BENCH_<n>.json` slot in `dir`.
+fn next_report_path(dir: &PathBuf) -> PathBuf {
+    for n in 0.. {
+        let p = dir.join(format!("BENCH_{n}.json"));
+        if !p.exists() {
+            return p;
+        }
+    }
+    unreachable!()
+}
+
+fn main() {
+    let timeout = Duration::from_millis(env_or("LINARB_SMOKE_TIMEOUT_MS", 60_000u64));
+    let out_dir = PathBuf::from(
+        std::env::var("LINARB_SMOKE_OUT_DIR").unwrap_or_else(|_| ".".to_string()),
+    );
+
+    // A selection that exercises the incremental machinery: loop
+    // invariants needing many refinements (fig1, program_a, jm2006,
+    // hhk2008), recursion (fibo, even_odd), an unsat instance
+    // (fibo_unsafe), and quick sanity cases. `program_a` appears in
+    // both its mini-C form and the paper's CHC-direct form — the two
+    // encodings stress the oracle quite differently.
+    let program_a_chc = linarb_suite::Benchmark::from_chc(
+        "program_a_chc",
+        linarb_suite::Category::Paper,
+        linarb_suite::Expected::Safe,
+        r#"
+        (declare-fun inv (Int Int) Bool)
+        (assert (forall ((x Int) (y Int)) (=> (= x 0) (inv x y))))
+        (assert (forall ((x Int) (y Int) (x1 Int) (y1 Int))
+            (=> (and (inv x y) (distinct y 0)
+                     (or (and (< y 0) (= x1 (- x 1)) (= y1 (+ y 1)))
+                         (and (>= y 0) (= x1 (+ x 1)) (= y1 (- y 1)))))
+                (inv x1 y1))))
+        (assert (forall ((x Int) (y Int) (x1 Int) (y1 Int))
+            (=> (and (inv x y) (distinct y 0)
+                     (or (and (< y 0) (= x1 (- x 1)) (= y1 (+ y 1)))
+                         (and (>= y 0) (= x1 (+ x 1)) (= y1 (- y 1))))
+                     (distinct y1 0))
+                (distinct x1 0))))
+        "#,
+    );
+    let suite: Vec<linarb_suite::Benchmark> = vec![
+        fig1(),
+        program_a(),
+        program_a_chc,
+        program_c_fibo(),
+        fibo_unsafe(),
+        even_odd(),
+        linarb_suite::cggmp2005(),
+        linarb_suite::jm2006(),
+        linarb_suite::hhk2008(),
+        linarb_suite::invgen_sum(),
+        linarb_suite::half_counter(),
+    ];
+
+    eprintln!("== fresh oracle ==");
+    let fresh = run_mode(OracleMode::Fresh, &suite, timeout);
+    eprintln!("== incremental oracle ==");
+    let inc = run_mode(OracleMode::Incremental, &suite, timeout);
+
+    // Definite verdicts must never contradict each other (one mode
+    // may time out where the other solves; that is a perf difference,
+    // not a soundness one — the dedicated differential test asserts
+    // exact agreement on instances both modes finish).
+    for (i, b) in suite.iter().enumerate() {
+        let (f, g) = (fresh.verdicts[i], inc.verdicts[i]);
+        assert!(
+            f == g || f == "unknown" || g == "unknown",
+            "oracle modes contradict on {}: fresh={f} incremental={g}",
+            b.name
+        );
+    }
+
+    let fresh_full = fresh.smt_checks - fresh.smt_checks_skipped;
+    let inc_full = inc.smt_checks - inc.smt_checks_skipped;
+    let speedup = fresh.wall.as_secs_f64() / inc.wall.as_secs_f64().max(1e-9);
+    let check_reduction = 1.0 - inc_full as f64 / fresh_full.max(1) as f64;
+
+    // Wall-time speedup over the commonly-solved subset. Instances
+    // where *both* modes exhaust the budget contribute the same
+    // timeout to each side and only dilute the ratio toward 1, so the
+    // standard comparison excludes them (each mode's solved count is
+    // reported separately).
+    let both_solved = |i: usize| fresh.verdicts[i] != "unknown" && inc.verdicts[i] != "unknown";
+    let subset_wall = |run: &ModeRun| -> f64 {
+        run.per_bench
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| both_solved(*i))
+            .map(|(_, (_, t))| t.as_secs_f64())
+            .sum()
+    };
+    let (fresh_solved_wall, inc_solved_wall) = (subset_wall(&fresh), subset_wall(&inc));
+    let solved_speedup = fresh_solved_wall / inc_solved_wall.max(1e-9);
+    let count = |run: &ModeRun| run.verdicts.iter().filter(|v| **v != "unknown").count();
+    let (fresh_solved, inc_solved) = (count(&fresh), count(&inc));
+
+    let mut json = String::new();
+    writeln!(json, "{{").unwrap();
+    writeln!(json, "  \"suite_size\": {},", suite.len()).unwrap();
+    writeln!(json, "  \"timeout_ms\": {},", timeout.as_millis()).unwrap();
+    for (label, run, full) in [("fresh", &fresh, fresh_full), ("incremental", &inc, inc_full)] {
+        writeln!(json, "  \"{label}\": {{").unwrap();
+        writeln!(json, "    \"wall_s\": {:.3},", run.wall.as_secs_f64()).unwrap();
+        writeln!(json, "    \"smt_checks\": {},", run.smt_checks).unwrap();
+        writeln!(json, "    \"smt_checks_skipped\": {},", run.smt_checks_skipped).unwrap();
+        writeln!(json, "    \"full_smt_checks\": {full},").unwrap();
+        writeln!(json, "    \"ctx_reuse_hits\": {},", run.ctx_reuse_hits).unwrap();
+        writeln!(json, "    \"learned_clauses\": {},", run.learned_clauses).unwrap();
+        let times: Vec<String> = run
+            .per_bench
+            .iter()
+            .map(|(n, t)| format!("{{\"name\": \"{n}\", \"wall_s\": {:.3}}}", t.as_secs_f64()))
+            .collect();
+        writeln!(json, "    \"benchmarks\": [{}]", times.join(", ")).unwrap();
+        writeln!(json, "  }},").unwrap();
+    }
+    writeln!(json, "  \"fresh_solved\": {fresh_solved},").unwrap();
+    writeln!(json, "  \"incremental_solved\": {inc_solved},").unwrap();
+    writeln!(json, "  \"speedup\": {speedup:.3},").unwrap();
+    writeln!(json, "  \"solved_subset_speedup\": {solved_speedup:.3},").unwrap();
+    writeln!(json, "  \"full_check_reduction\": {check_reduction:.3}").unwrap();
+    writeln!(json, "}}").unwrap();
+
+    let path = next_report_path(&out_dir);
+    std::fs::write(&path, &json).expect("write report");
+    eprintln!(
+        "solved {fresh_solved} (fresh) vs {inc_solved} (incremental) of {}",
+        suite.len()
+    );
+    eprintln!(
+        "speedup {solved_speedup:.2}x on the commonly-solved subset \
+         ({speedup:.2}x on the full suite incl. double timeouts), \
+         full-check reduction {:.1}% -> {}",
+        check_reduction * 100.0,
+        path.display()
+    );
+}

@@ -4,33 +4,39 @@
 
 use linarb_arith::int;
 use linarb_logic::{Atom, Formula, LinExpr, Model, Var};
-use proptest::prelude::*;
+use linarb_testutil::{cases, XorShiftRng};
 use std::collections::HashMap;
 
 const NVARS: u32 = 3;
 const GRID: i64 = 3;
+const CASES: u64 = 96;
 
-fn arb_formula() -> impl Strategy<Value = Formula> {
-    let atom = (
-        prop::collection::vec(-3i64..=3, NVARS as usize),
-        -5i64..=5,
-    )
-        .prop_map(|(w, c)| {
-            let e = LinExpr::from_terms(
-                w.into_iter()
-                    .enumerate()
-                    .map(|(i, a)| (Var::from_index(i as u32), int(a))),
-                int(0),
-            );
-            Formula::from(Atom::le(e, LinExpr::constant(int(c))))
-        });
-    atom.prop_recursive(3, 20, 3, |inner| {
-        prop_oneof![
-            prop::collection::vec(inner.clone(), 1..3).prop_map(Formula::and),
-            prop::collection::vec(inner.clone(), 1..3).prop_map(Formula::or),
-            inner.prop_map(Formula::not),
-        ]
-    })
+fn rand_atom(rng: &mut XorShiftRng) -> Formula {
+    let e = LinExpr::from_terms(
+        (0..NVARS).map(|i| (Var::from_index(i), int(rng.gen_range(-3i64..=3)))),
+        int(0),
+    );
+    let c = rng.gen_range(-5i64..=5);
+    Formula::from(Atom::le(e, LinExpr::constant(int(c))))
+}
+
+/// Random formula with nesting depth up to `depth`, mirroring the
+/// shapes proptest's recursive strategy used to generate.
+fn rand_formula(rng: &mut XorShiftRng, depth: u32) -> Formula {
+    if depth == 0 || rng.gen_bool(0.3) {
+        return rand_atom(rng);
+    }
+    match rng.gen_range(0u32..3) {
+        0 => {
+            let n = rng.gen_range(1usize..3);
+            Formula::and((0..n).map(|_| rand_formula(rng, depth - 1)).collect())
+        }
+        1 => {
+            let n = rng.gen_range(1usize..3);
+            Formula::or((0..n).map(|_| rand_formula(rng, depth - 1)).collect())
+        }
+        _ => Formula::not(rand_formula(rng, depth - 1)),
+    }
 }
 
 fn for_all_grid(check: impl Fn(&Model) -> bool) -> bool {
@@ -50,24 +56,29 @@ fn for_all_grid(check: impl Fn(&Model) -> bool) -> bool {
     true
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
-
-    #[test]
-    fn nnf_preserves_semantics(f in arb_formula()) {
+#[test]
+fn nnf_preserves_semantics() {
+    cases(CASES, 0xB001, |rng| {
+        let f = rand_formula(rng, 3);
         let g = f.nnf();
-        prop_assert!(for_all_grid(|m| f.eval(m) == g.eval(m)), "{f} vs {g}");
-    }
+        assert!(for_all_grid(|m| f.eval(m) == g.eval(m)), "{f} vs {g}");
+    });
+}
 
-    #[test]
-    fn simplify_preserves_semantics(f in arb_formula()) {
+#[test]
+fn simplify_preserves_semantics() {
+    cases(CASES, 0xB002, |rng| {
+        let f = rand_formula(rng, 3);
         let g = f.simplify();
-        prop_assert!(for_all_grid(|m| f.eval(m) == g.eval(m)), "{f} vs {g}");
-        prop_assert!(g.size() <= f.size(), "simplify must not grow the formula");
-    }
+        assert!(for_all_grid(|m| f.eval(m) == g.eval(m)), "{f} vs {g}");
+        assert!(g.size() <= f.size(), "simplify must not grow the formula");
+    });
+}
 
-    #[test]
-    fn dnf_preserves_semantics(f in arb_formula()) {
+#[test]
+fn dnf_preserves_semantics() {
+    cases(CASES, 0xB003, |rng| {
+        let f = rand_formula(rng, 3);
         if let Some(cubes) = f.to_dnf(256) {
             let g = Formula::or(
                 cubes
@@ -75,21 +86,30 @@ proptest! {
                     .map(|c| Formula::and(c.into_iter().map(Formula::from).collect()))
                     .collect(),
             );
-            prop_assert!(for_all_grid(|m| f.eval(m) == g.eval(m)), "{f} vs {g}");
+            assert!(for_all_grid(|m| f.eval(m) == g.eval(m)), "{f} vs {g}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn atom_negation_complements(f in arb_formula()) {
+#[test]
+fn atom_negation_complements() {
+    cases(CASES, 0xB004, |rng| {
+        let f = rand_formula(rng, 3);
         for a in f.atoms() {
             let n = a.negate();
-            prop_assert!(for_all_grid(|m| a.holds(m) != n.holds(m)));
-            prop_assert_eq!(n.negate(), a);
+            assert!(for_all_grid(|m| a.holds(m) != n.holds(m)));
+            assert_eq!(n.negate(), a);
         }
-    }
+    });
+}
 
-    #[test]
-    fn constant_substitution_matches_eval(f in arb_formula(), x in -3i64..=3, y in -3i64..=3, z in -3i64..=3) {
+#[test]
+fn constant_substitution_matches_eval() {
+    cases(CASES, 0xB005, |rng| {
+        let f = rand_formula(rng, 3);
+        let x = rng.gen_range(-3i64..=3);
+        let y = rng.gen_range(-3i64..=3);
+        let z = rng.gen_range(-3i64..=3);
         let map: HashMap<Var, LinExpr> = [(0u32, x), (1, y), (2, z)]
             .into_iter()
             .map(|(i, v)| (Var::from_index(i), LinExpr::constant(int(v))))
@@ -100,11 +120,14 @@ proptest! {
             .map(|(i, v)| (Var::from_index(i), int(v)))
             .collect();
         // g is variable-free: its truth under any model equals f at the point
-        prop_assert_eq!(g.eval(&Model::new()), f.eval(&m));
-    }
+        assert_eq!(g.eval(&Model::new()), f.eval(&m));
+    });
+}
 
-    #[test]
-    fn rename_then_rename_back(f in arb_formula()) {
+#[test]
+fn rename_then_rename_back() {
+    cases(CASES, 0xB006, |rng| {
+        let f = rand_formula(rng, 3);
         // bijective rename to fresh vars and back is identity (semantically)
         let fwd: HashMap<Var, Var> = (0..NVARS)
             .map(|i| (Var::from_index(i), Var::from_index(i + 100)))
@@ -113,6 +136,6 @@ proptest! {
             .map(|i| (Var::from_index(i + 100), Var::from_index(i)))
             .collect();
         let g = f.rename(&fwd).rename(&bwd);
-        prop_assert!(for_all_grid(|m| f.eval(m) == g.eval(m)));
-    }
+        assert!(for_all_grid(|m| f.eval(m) == g.eval(m)));
+    });
 }

@@ -366,9 +366,8 @@ mod tests {
 
     #[test]
     fn large_random_consistent_cloud() {
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
-        let mut rng = StdRng::seed_from_u64(99);
+        use linarb_testutil::XorShiftRng;
+        let mut rng = XorShiftRng::seed_from_u64(99);
         // Ground truth: x - 2y >= 1 \/ (x + y <= -4)
         let mut d = Dataset::new(2);
         for _ in 0..120 {

@@ -14,8 +14,7 @@
 
 use crate::dataset::Sample;
 use linarb_arith::BigInt;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use linarb_testutil::XorShiftRng;
 
 /// Which linear classification algorithm drives `LinearClassify`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -96,7 +95,7 @@ pub fn linear_classify(
     }
     // §5 fallback: S⁺ against one random negative, then one random
     // positive against S⁻.
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed);
+    let mut rng = XorShiftRng::seed_from_u64(seed ^ 0x5eed);
     let n = &neg[rng.gen_range(0..neg.len())];
     if let Some(h) = raw_direction(kind, params, pos, std::slice::from_ref(n), seed ^ 1)
         .and_then(|dir| refit_intercept(&dir, pos, neg))
@@ -196,7 +195,7 @@ fn svm_direction(params: &SvmParams, pos: &[Sample], neg: &[Sample], seed: u64) 
     let mut b = 0.0f64;
     let mut avg_w = vec![0.0f64; dim];
     let mut avg_b = 0.0f64;
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = XorShiftRng::seed_from_u64(seed);
     let data: Vec<(f64, Vec<f64>)> = pos
         .iter()
         .map(|s| (1.0, s.iter().map(BigInt::to_f64).collect()))

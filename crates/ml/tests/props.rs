@@ -4,14 +4,21 @@
 
 use linarb_arith::int;
 use linarb_logic::{Formula, Model, Var};
-use linarb_ml::{
-    learn, linear_arbitrary, ClassifierKind, Dataset, LearnConfig,
-};
-use proptest::prelude::*;
+use linarb_ml::{learn, linear_arbitrary, ClassifierKind, Dataset, LearnConfig};
+use linarb_testutil::{cases, XorShiftRng};
 use std::collections::HashSet;
+
+const CASES: u64 = 48;
 
 fn params(n: usize) -> Vec<Var> {
     (0..n as u32).map(Var::from_index).collect()
+}
+
+fn rand_points(rng: &mut XorShiftRng, max_len: usize, span: i64) -> Vec<(i64, i64)> {
+    let n = rng.gen_range(1usize..max_len);
+    (0..n)
+        .map(|_| (rng.gen_range(-span..span), rng.gen_range(-span..span)))
+        .collect()
 }
 
 fn build_dataset(pos: &[(i64, i64)], neg: &[(i64, i64)]) -> Option<Dataset> {
@@ -41,46 +48,45 @@ fn perfect(f: &Formula, ps: &[Var], d: &Dataset) -> bool {
     d.positives().iter().all(|s| at(s)) && d.negatives().iter().all(|s| !at(s))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn algorithm1_separates_any_consistent_data(
-        pos in prop::collection::vec((-8i64..8, -8i64..8), 1..12),
-        neg in prop::collection::vec((-8i64..8, -8i64..8), 1..12),
-        svm in any::<bool>(),
-    ) {
-        let Some(d) = build_dataset(&pos, &neg) else { return Ok(()); };
+#[test]
+fn algorithm1_separates_any_consistent_data() {
+    cases(CASES, 0xC001, |rng| {
+        let pos = rand_points(rng, 12, 8);
+        let neg = rand_points(rng, 12, 8);
+        let svm = rng.gen_bool(0.5);
+        let Some(d) = build_dataset(&pos, &neg) else { return };
         let ps = params(2);
         let config = LearnConfig {
             classifier: if svm { ClassifierKind::Svm } else { ClassifierKind::Perceptron },
             ..LearnConfig::default()
         };
         let f = linear_arbitrary(&d, &ps, &config).expect("consistent data must learn");
-        prop_assert!(perfect(&f, &ps, &d), "Lemma 3.1 violated by {f} on {pos:?}/{neg:?}");
-    }
+        assert!(perfect(&f, &ps, &d), "Lemma 3.1 violated by {f} on {pos:?}/{neg:?}");
+    });
+}
 
-    #[test]
-    fn algorithm2_separates_any_consistent_data(
-        pos in prop::collection::vec((-8i64..8, -8i64..8), 1..10),
-        neg in prop::collection::vec((-8i64..8, -8i64..8), 1..10),
-    ) {
-        let Some(d) = build_dataset(&pos, &neg) else { return Ok(()); };
+#[test]
+fn algorithm2_separates_any_consistent_data() {
+    cases(CASES, 0xC002, |rng| {
+        let pos = rand_points(rng, 10, 8);
+        let neg = rand_points(rng, 10, 8);
+        let Some(d) = build_dataset(&pos, &neg) else { return };
         let ps = params(2);
         let (f, _) = learn(&d, &ps, &LearnConfig::default()).expect("consistent data must learn");
-        prop_assert!(perfect(&f, &ps, &d), "Lemma 3.1 violated by {f} on {pos:?}/{neg:?}");
-    }
+        assert!(perfect(&f, &ps, &d), "Lemma 3.1 violated by {f} on {pos:?}/{neg:?}");
+    });
+}
 
-    #[test]
-    fn ablation_no_dt_also_perfect(
-        pos in prop::collection::vec((-6i64..6, -6i64..6), 1..8),
-        neg in prop::collection::vec((-6i64..6, -6i64..6), 1..8),
-    ) {
-        let Some(d) = build_dataset(&pos, &neg) else { return Ok(()); };
+#[test]
+fn ablation_no_dt_also_perfect() {
+    cases(CASES, 0xC003, |rng| {
+        let pos = rand_points(rng, 8, 6);
+        let neg = rand_points(rng, 8, 6);
+        let Some(d) = build_dataset(&pos, &neg) else { return };
         let ps = params(2);
         let config = LearnConfig { use_decision_tree: false, ..LearnConfig::default() };
         let (f, stats) = learn(&d, &ps, &config).expect("consistent data must learn");
-        prop_assert!(!stats.dt_used);
-        prop_assert!(perfect(&f, &ps, &d));
-    }
+        assert!(!stats.dt_used);
+        assert!(perfect(&f, &ps, &d));
+    });
 }

@@ -146,6 +146,8 @@ pub struct SatSolver {
     conflict_limit: Option<u64>,
     conflicts: u64,
     propagations: u64,
+    learned: u64,
+    assumption_core: Vec<Lit>,
 }
 
 impl Default for SatSolver {
@@ -173,6 +175,8 @@ impl SatSolver {
             conflict_limit: None,
             conflicts: 0,
             propagations: 0,
+            learned: 0,
+            assumption_core: Vec::new(),
         }
     }
 
@@ -202,6 +206,13 @@ impl SatSolver {
     /// Number of unit propagations performed (for statistics).
     pub fn num_propagations(&self) -> u64 {
         self.propagations
+    }
+
+    /// Number of clauses learned by conflict analysis so far (for
+    /// statistics). Learned clauses persist across solve calls, so
+    /// this grows monotonically over an incremental session.
+    pub fn num_learned(&self) -> u64 {
+        self.learned
     }
 
     /// Caps the number of conflicts a single [`solve`](Self::solve)
@@ -414,17 +425,59 @@ impl SatSolver {
             // skip position 0 of reason clause (the propagated literal)
         }
 
-        // backtrack level = max level among learned[1..]
-        let bt = learned[1..]
-            .iter()
+        // Move a max-level literal into position 1: it becomes the
+        // second watch, so after backjumping the clause is unit on
+        // learned[0] and the watches stay valid without rescanning.
+        if learned.len() > 1 {
+            let mut mi = 1;
+            for i in 2..learned.len() {
+                if self.level[learned[i].var().index()] > self.level[learned[mi].var().index()] {
+                    mi = i;
+                }
+            }
+            learned.swap(1, mi);
+        }
+        // backtrack level = max level among learned[1..] (now at [1])
+        let bt = learned
+            .get(1)
             .map(|l| self.level[l.var().index()] as usize)
-            .max()
             .unwrap_or(0);
         (learned, bt)
     }
 
     /// Solves the current clause set.
     pub fn solve(&mut self) -> SatResult {
+        self.solve_under_assumptions(&[])
+    }
+
+    /// Resets the branching heuristics — activities, saved phases, and
+    /// the activity increment — to their initial values, as if the
+    /// solver had just been built. Clauses (including learned ones)
+    /// and watcher state are untouched. Incremental callers use this
+    /// to make model *selection* independent of earlier queries:
+    /// without it, phase saving replays fragments of previous models,
+    /// which matters when the caller samples models rather than just
+    /// testing satisfiability.
+    pub fn reset_decision_state(&mut self) {
+        self.activity.iter_mut().for_each(|a| *a = 0.0);
+        self.phase.iter_mut().for_each(|p| *p = false);
+        self.var_inc = 1.0;
+    }
+
+    /// Solves the current clause set under the given assumption
+    /// literals, MiniSat-style: each assumption is decided at its own
+    /// pseudo-decision level before any search decision, so learned
+    /// clauses, activity, and watcher state all survive the call and
+    /// are reused by later calls.
+    ///
+    /// An `Unsat` answer that depends on the assumptions does **not**
+    /// poison the solver: drop or change the assumptions and solve
+    /// again. [`assumption_core`](Self::assumption_core) then holds a
+    /// subset of the assumptions that is jointly inconsistent with the
+    /// clause set (the *final conflict*). An empty core means the
+    /// clause set is unsatisfiable regardless of assumptions.
+    pub fn solve_under_assumptions(&mut self, assumptions: &[Lit]) -> SatResult {
+        self.assumption_core.clear();
         if !self.ok {
             return SatResult::Unsat;
         }
@@ -454,6 +507,7 @@ impl SatSolver {
                 let (learned, bt) = self.analyze(ci);
                 self.backtrack_to(bt);
                 self.var_inc /= 0.95;
+                self.learned += 1;
                 match learned.len() {
                     1 => {
                         if self.lit_value(learned[0]) == Some(false) {
@@ -480,6 +534,27 @@ impl SatSolver {
                     self.backtrack_to(0);
                     continue;
                 }
+                // establish pending assumptions as pseudo-decisions
+                if self.trail_lim.len() < assumptions.len() {
+                    let a = assumptions[self.trail_lim.len()];
+                    match self.lit_value(a) {
+                        Some(true) => {
+                            // already implied: dummy level keeps the
+                            // level/assumption-index correspondence
+                            self.trail_lim.push(self.trail.len());
+                        }
+                        Some(false) => {
+                            self.assumption_core = self.analyze_final(a);
+                            self.backtrack_to(0);
+                            return SatResult::Unsat;
+                        }
+                        None => {
+                            self.trail_lim.push(self.trail.len());
+                            self.enqueue(a, INVALID);
+                        }
+                    }
+                    continue;
+                }
                 // decide
                 match self.pick_branch() {
                     None => return SatResult::Sat,
@@ -491,6 +566,50 @@ impl SatSolver {
                 }
             }
         }
+    }
+
+    /// After an assumption-dependent `Unsat` from
+    /// [`solve_under_assumptions`](Self::solve_under_assumptions): a
+    /// subset of the assumptions whose conjunction already contradicts
+    /// the clause set. Empty when the last `Unsat` was unconditional.
+    pub fn assumption_core(&self) -> &[Lit] {
+        &self.assumption_core
+    }
+
+    /// Final-conflict analysis (MiniSat's `analyzeFinal`): `failed` is
+    /// an assumption whose complement is implied by the clauses plus
+    /// the assumptions established so far. Walks the trail backwards,
+    /// expanding propagation reasons, until only pseudo-decisions
+    /// (assumptions) remain — those, plus `failed` itself, form the
+    /// core. Level-0 facts are unconditional and excluded.
+    fn analyze_final(&self, failed: Lit) -> Vec<Lit> {
+        let mut core = vec![failed];
+        if self.trail_lim.is_empty() {
+            return core;
+        }
+        let mut seen = vec![false; self.num_vars()];
+        seen[failed.var().index()] = true;
+        for i in (self.trail_lim[0]..self.trail.len()).rev() {
+            let l = self.trail[i];
+            let v = l.var().index();
+            if !seen[v] {
+                continue;
+            }
+            let r = self.reason[v];
+            if r == INVALID {
+                // a pseudo-decision: an assumption the conflict uses
+                core.push(l);
+            } else {
+                // position 0 is the propagated literal; the rest are
+                // the antecedents to expand
+                for &q in &self.clauses[r as usize].lits[1..] {
+                    if self.level[q.var().index()] > 0 {
+                        seen[q.var().index()] = true;
+                    }
+                }
+            }
+        }
+        core
     }
 
     fn pick_branch(&self) -> Option<BVar> {
@@ -697,10 +816,141 @@ mod tests {
     }
 
     #[test]
+    fn assumptions_restrict_models() {
+        let mut s = SatSolver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause(&[a.positive(), b.positive()]);
+        assert_eq!(s.solve_under_assumptions(&[a.negative()]), SatResult::Sat);
+        assert_eq!(s.value(a), Some(false));
+        assert_eq!(s.value(b), Some(true));
+        assert_eq!(s.solve_under_assumptions(&[b.negative()]), SatResult::Sat);
+        assert_eq!(s.value(a), Some(true));
+        assert_eq!(s.value(b), Some(false));
+    }
+
+    #[test]
+    fn conflicting_assumptions_do_not_poison_solver() {
+        let mut s = SatSolver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause(&[a.negative(), b.positive()]); // a -> b
+        // a and ~b contradict a -> b, but only under assumptions
+        let r = s.solve_under_assumptions(&[a.positive(), b.negative()]);
+        assert_eq!(r, SatResult::Unsat);
+        let core = s.assumption_core().to_vec();
+        assert!(!core.is_empty(), "assumption-dependent unsat needs a core");
+        assert!(core.contains(&a.positive()) && core.contains(&b.negative()));
+        // the solver must remain usable: same clauses, weaker assumptions
+        assert_eq!(s.solve_under_assumptions(&[a.positive()]), SatResult::Sat);
+        assert_eq!(s.value(b), Some(true));
+        assert_eq!(s.solve(), SatResult::Sat);
+    }
+
+    #[test]
+    fn directly_contradictory_assumptions() {
+        let mut s = SatSolver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause(&[a.positive(), b.positive()]);
+        let r = s.solve_under_assumptions(&[a.positive(), a.negative()]);
+        assert_eq!(r, SatResult::Unsat);
+        let core = s.assumption_core();
+        assert!(core.contains(&a.positive()) && core.contains(&a.negative()));
+        assert_eq!(s.solve(), SatResult::Sat);
+    }
+
+    #[test]
+    fn final_conflict_core_is_minimal_subset() {
+        // chain a -> b -> c; assuming {a, d, ~c} fails, and the core
+        // must not mention the irrelevant assumption d.
+        let mut s = SatSolver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        let c = s.new_var();
+        let d = s.new_var();
+        s.add_clause(&[a.negative(), b.positive()]);
+        s.add_clause(&[b.negative(), c.positive()]);
+        let r = s.solve_under_assumptions(&[a.positive(), d.positive(), c.negative()]);
+        assert_eq!(r, SatResult::Unsat);
+        let core = s.assumption_core().to_vec();
+        assert!(core.contains(&a.positive()), "core {core:?}");
+        assert!(core.contains(&c.negative()), "core {core:?}");
+        assert!(!core.contains(&d.positive()), "irrelevant assumption in core {core:?}");
+        // and the core itself must be unsat when re-assumed
+        assert_eq!(s.solve_under_assumptions(&core), SatResult::Unsat);
+    }
+
+    #[test]
+    fn unconditional_unsat_reports_empty_core() {
+        let mut s = SatSolver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause(&[a.positive()]);
+        s.add_clause(&[a.negative()]);
+        assert_eq!(s.solve_under_assumptions(&[b.positive()]), SatResult::Unsat);
+        assert!(s.assumption_core().is_empty());
+    }
+
+    #[test]
+    fn state_reuse_across_many_calls() {
+        // php 4/3 with activation literals g_h guarding "hole h is
+        // usable": repeated calls under different guard sets reuse
+        // learned clauses — conflicts and learned counts must be
+        // monotone, and clauses learned in earlier calls must not be
+        // relearned wholesale in later identical calls.
+        let n = 4usize;
+        let m = 3usize;
+        let mut s = SatSolver::new();
+        let mut v = vec![];
+        for _ in 0..n * m {
+            v.push(s.new_var());
+        }
+        let guards: Vec<BVar> = (0..m).map(|_| s.new_var()).collect();
+        let p = |i: usize, h: usize| v[i * m + h];
+        for i in 0..n {
+            let c: Vec<Lit> = (0..m).map(|h| p(i, h).positive()).collect();
+            s.add_clause(&c);
+        }
+        for h in 0..m {
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    // guarded mutual exclusion: only active when g_h
+                    s.add_clause(&[
+                        guards[h].negative(),
+                        p(i, h).negative(),
+                        p(j, h).negative(),
+                    ]);
+                }
+            }
+        }
+        let all: Vec<Lit> = guards.iter().map(|g| g.positive()).collect();
+        // call 1: all holes exclusive -> unsat (pigeonhole)
+        assert_eq!(s.solve_under_assumptions(&all), SatResult::Unsat);
+        let conflicts1 = s.num_conflicts();
+        let learned1 = s.num_learned();
+        assert!(learned1 > 0, "pigeonhole must learn clauses");
+        // call 2: identical query; learned clauses make it cheaper
+        assert_eq!(s.solve_under_assumptions(&all), SatResult::Unsat);
+        let conflicts2 = s.num_conflicts() - conflicts1;
+        assert!(
+            conflicts2 <= conflicts1,
+            "second identical call must not be harder: {conflicts2} vs {conflicts1}"
+        );
+        // call 3: relax one hole -> sat, state still consistent
+        assert_eq!(
+            s.solve_under_assumptions(&all[..m - 1]),
+            SatResult::Sat
+        );
+        // call 4: back to the full query, still unsat
+        assert_eq!(s.solve_under_assumptions(&all), SatResult::Unsat);
+        assert!(s.num_learned() >= learned1);
+    }
+
+    #[test]
     fn random_3sat_agrees_with_brute_force() {
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
-        let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+        use linarb_testutil::XorShiftRng;
+        let mut rng = XorShiftRng::seed_from_u64(0xC0FFEE);
         for round in 0..200 {
             let nvars = rng.gen_range(1..=8usize);
             let nclauses = rng.gen_range(1..=24usize);
@@ -733,6 +983,70 @@ mod tests {
                 assert!(model_satisfies(&s, &clauses), "round {round} bad model");
             } else {
                 assert_eq!(res, SatResult::Unsat, "round {round}");
+            }
+        }
+    }
+
+    #[test]
+    fn random_assumptions_agree_with_unit_clauses() {
+        // solve_under_assumptions(A) must classify exactly like a
+        // fresh solver with A added as unit clauses — across repeated
+        // incremental calls on the same solver.
+        use linarb_testutil::XorShiftRng;
+        let mut rng = XorShiftRng::seed_from_u64(0xA55);
+        for round in 0..100 {
+            let nvars = rng.gen_range(2..=7usize);
+            let nclauses = rng.gen_range(1..=18usize);
+            let mut clauses: Vec<Vec<Lit>> = Vec::new();
+            let mut inc = SatSolver::new();
+            let vars: Vec<BVar> = (0..nvars).map(|_| inc.new_var()).collect();
+            for _ in 0..nclauses {
+                let len = rng.gen_range(1..=3usize);
+                let c: Vec<Lit> = (0..len)
+                    .map(|_| vars[rng.gen_range(0..nvars)].lit(rng.gen_bool(0.5)))
+                    .collect();
+                clauses.push(c.clone());
+                inc.add_clause(&c);
+            }
+            // several assumption queries against the same solver
+            for _ in 0..4 {
+                let nass = rng.gen_range(0..=nvars);
+                let assumptions: Vec<Lit> = (0..nass)
+                    .map(|_| vars[rng.gen_range(0..nvars)].lit(rng.gen_bool(0.5)))
+                    .collect();
+                let mut fresh = SatSolver::new();
+                let fvars: Vec<BVar> = (0..nvars).map(|_| fresh.new_var()).collect();
+                for c in &clauses {
+                    let fc: Vec<Lit> = c
+                        .iter()
+                        .map(|l| fvars[l.var().index()].lit(l.is_positive()))
+                        .collect();
+                    fresh.add_clause(&fc);
+                }
+                for a in &assumptions {
+                    fresh.add_clause(&[fvars[a.var().index()].lit(a.is_positive())]);
+                }
+                let ri = inc.solve_under_assumptions(&assumptions);
+                let rf = fresh.solve();
+                assert_eq!(ri, rf, "round {round} assumptions {assumptions:?}");
+                if ri == SatResult::Sat {
+                    assert!(model_satisfies(&inc, &clauses), "round {round}");
+                    for a in &assumptions {
+                        assert_eq!(
+                            inc.value(a.var()),
+                            Some(a.is_positive()),
+                            "assumption not honored in model, round {round}"
+                        );
+                    }
+                } else {
+                    // the reported core must itself be unsat
+                    let core = inc.assumption_core().to_vec();
+                    assert_eq!(
+                        inc.solve_under_assumptions(&core),
+                        SatResult::Unsat,
+                        "round {round}: core {core:?} not unsat"
+                    );
+                }
             }
         }
     }

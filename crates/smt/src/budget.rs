@@ -1,13 +1,19 @@
-//! Solve budgets: wall-clock deadlines threaded through every engine.
+//! Solve budgets: wall-clock deadlines and search-effort caps threaded
+//! through every engine.
 //!
 //! The evaluation harness imposes the paper's per-benchmark timeouts by
 //! handing each solver a [`Budget`]; engines poll
 //! [`Budget::exhausted`] at loop heads and surface
-//! `Unknown`/`Timeout` results instead of being killed.
+//! `Unknown`/`Timeout` results instead of being killed. The budget also
+//! carries the CDCL conflict cap for a single SAT search, replacing the
+//! solver's former hard-coded constant.
 
 use std::time::{Duration, Instant};
 
-/// A wall-clock budget for a solving task.
+/// The CDCL conflict cap used when a budget doesn't override it.
+pub(crate) const DEFAULT_CONFLICT_LIMIT: u64 = 500_000;
+
+/// A wall-clock + search-effort budget for a solving task.
 ///
 /// ```
 /// use linarb_smt::Budget;
@@ -18,26 +24,51 @@ use std::time::{Duration, Instant};
 ///
 /// let t = Budget::timeout(Duration::from_millis(0));
 /// assert!(t.exhausted());
+///
+/// let capped = Budget::unlimited().with_conflict_limit(Some(1_000));
+/// assert_eq!(capped.conflict_limit(), Some(1_000));
 /// ```
 #[derive(Clone, Copy, Debug)]
 pub struct Budget {
     deadline: Option<Instant>,
+    conflict_limit: Option<u64>,
 }
 
 impl Budget {
-    /// A budget that never expires.
+    /// A budget that never expires (but still applies the default
+    /// CDCL conflict cap as a runaway guard).
     pub fn unlimited() -> Budget {
-        Budget { deadline: None }
+        Budget { deadline: None, conflict_limit: Some(DEFAULT_CONFLICT_LIMIT) }
     }
 
     /// A budget expiring `d` from now.
     pub fn timeout(d: Duration) -> Budget {
-        Budget { deadline: Some(Instant::now() + d) }
+        Budget {
+            deadline: Some(Instant::now() + d),
+            conflict_limit: Some(DEFAULT_CONFLICT_LIMIT),
+        }
     }
 
     /// A budget expiring at the given instant.
     pub fn until(deadline: Instant) -> Budget {
-        Budget { deadline: Some(deadline) }
+        Budget {
+            deadline: Some(deadline),
+            conflict_limit: Some(DEFAULT_CONFLICT_LIMIT),
+        }
+    }
+
+    /// Overrides the per-search CDCL conflict cap. `None` removes the
+    /// cap entirely: a SAT search then runs until it answers or the
+    /// wall-clock deadline trips.
+    pub fn with_conflict_limit(mut self, limit: Option<u64>) -> Budget {
+        self.conflict_limit = limit;
+        self
+    }
+
+    /// The conflict cap a single CDCL search may spend before
+    /// reporting `Unknown`.
+    pub fn conflict_limit(&self) -> Option<u64> {
+        self.conflict_limit
     }
 
     /// Returns `true` once the deadline has passed.
@@ -69,6 +100,15 @@ mod tests {
         let b = Budget::unlimited();
         assert!(!b.exhausted());
         assert_eq!(b.remaining(), None);
+        assert_eq!(b.conflict_limit(), Some(DEFAULT_CONFLICT_LIMIT));
+    }
+
+    #[test]
+    fn conflict_limit_override() {
+        let b = Budget::unlimited().with_conflict_limit(Some(7));
+        assert_eq!(b.conflict_limit(), Some(7));
+        let un = Budget::timeout(Duration::from_secs(1)).with_conflict_limit(None);
+        assert_eq!(un.conflict_limit(), None);
     }
 
     #[test]

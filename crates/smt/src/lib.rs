@@ -40,17 +40,20 @@
 //! ```
 
 mod budget;
+mod incremental;
 pub mod simplex;
 mod theory;
 mod tseitin;
 
 pub use budget::Budget;
+pub use incremental::{find_countermodel_incremental, IncrementalSolver};
+pub use linarb_sat::Lit;
 pub use simplex::{BoundKind, Conflict, FarkasEntry};
 pub use theory::{TheoryLia, TheoryVerdict};
 pub use tseitin::Encoder;
 
 use linarb_logic::{Atom, Formula, Model};
-use linarb_sat::{Lit, SatResult};
+use linarb_sat::SatResult;
 
 /// Result of a satisfiability check.
 #[derive(Debug)]
@@ -107,6 +110,14 @@ pub enum ConjunctionResult {
 /// satisfiability: the definitions are total, so every model of the
 /// original extends to the lowered formula and vice versa (projected).
 fn lower_mods(f: &Formula) -> Formula {
+    let mut next = f.vars().iter().map(|v| v.index() + 1).max().unwrap_or(0);
+    lower_mods_from(f, &mut next)
+}
+
+/// [`lower_mods`] with a caller-owned fresh-variable supply, so an
+/// incremental context lowering formulas one at a time never reuses an
+/// index (`next` only moves forward).
+fn lower_mods_from(f: &Formula, next: &mut u32) -> Formula {
     let groups = f.mod_atoms();
     if groups.is_empty() {
         return f.clone();
@@ -115,7 +126,6 @@ fn lower_mods(f: &Formula) -> Formula {
     use linarb_logic::{Atom, LinExpr, Var};
     use std::collections::HashMap;
 
-    let mut next = f.vars().iter().map(|v| v.index() + 1).max().unwrap_or(0);
     // One (quotient, remainder) pair per distinct (expr, modulus).
     let mut defs: Vec<Formula> = Vec::new();
     let mut rems: HashMap<(LinExpr, BigInt), Var> = HashMap::new();
@@ -124,9 +134,9 @@ fn lower_mods(f: &Formula) -> Formula {
         if rems.contains_key(&key) {
             continue;
         }
-        let q = Var::from_index(next);
-        let r = Var::from_index(next + 1);
-        next += 2;
+        let q = Var::from_index(*next);
+        let r = Var::from_index(*next + 1);
+        *next += 2;
         let (qe, re) = (LinExpr::var(q), LinExpr::var(r));
         defs.push(Atom::eq_expr(a.expr().clone(), &qe.scale(a.modulus()) + &re));
         defs.push(Formula::from(Atom::ge(re.clone(), LinExpr::zero())));
@@ -166,7 +176,7 @@ pub fn check_sat(f: &Formula, budget: &Budget) -> SmtResult {
     let mut enc = Encoder::new();
     let root = enc.encode(&f);
     enc.sat.add_clause(&[root]);
-    enc.sat.set_conflict_limit(Some(500_000));
+    enc.sat.set_conflict_limit(budget.conflict_limit());
     // Whether some boolean assignment was abandoned because the theory
     // solver could not decide it: an eventual boolean Unsat is then
     // only "unknown" (the abandoned assignment might have been
@@ -257,6 +267,13 @@ pub fn find_countermodel(f: &Formula, budget: &Budget) -> SmtResult {
 /// interpolation baselines.
 pub fn check_conjunction(atoms: &[Atom], budget: &Budget) -> ConjunctionResult {
     let mut theory = TheoryLia::new();
+    // The budget's conflict cap bounds search effort here too: the
+    // theory's branch-and-bound node limit is the analogue of CDCL
+    // conflicts. The default cap (500k) leaves the historical 512-node
+    // limit in place; only tighter budgets reduce it.
+    if let Some(limit) = budget.conflict_limit() {
+        theory.set_branch_limit(limit.min(512));
+    }
     for (tag, a) in atoms.iter().enumerate() {
         if let Err(c) = theory.assert_atom(a, tag) {
             return ConjunctionResult::Unsat { core: c.core(), farkas: Some(c) };

@@ -9,17 +9,35 @@ use std::collections::HashMap;
 ///
 /// Atoms are canonicalized by polarity (leading coefficient positive)
 /// so an atom and its integer negation share one boolean variable.
+///
+/// Subformulas are hash-consed: structurally equal `And`/`Or` (and
+/// `True`/`False`) nodes share one gate variable, so re-encoding a
+/// formula fragment — the common case when an incremental context
+/// re-asserts a predicate interpretation that only partially changed —
+/// reuses the existing gates and their clauses instead of growing the
+/// solver.
 #[derive(Debug, Default)]
 pub struct Encoder {
     /// The underlying SAT solver.
     pub sat: SatSolver,
     atom_vars: HashMap<Atom, BVar>,
+    /// Interning order, which is also variable-index order (atom
+    /// variables are allocated monotonically). Lets [`atoms`](Self::atoms)
+    /// iterate in index order without sorting — it runs on every
+    /// DPLL(T) round.
+    atom_order: Vec<(Atom, BVar)>,
+    formula_lits: HashMap<Formula, Lit>,
 }
 
 impl Encoder {
     /// Creates an empty encoder.
     pub fn new() -> Encoder {
-        Encoder { sat: SatSolver::new(), atom_vars: HashMap::new() }
+        Encoder {
+            sat: SatSolver::new(),
+            atom_vars: HashMap::new(),
+            atom_order: Vec::new(),
+            formula_lits: HashMap::new(),
+        }
     }
 
     /// The literal representing `atom` (allocating a variable for its
@@ -40,6 +58,7 @@ impl Encoder {
             Some(&v) => v,
             None => {
                 let v = self.sat.new_var();
+                self.atom_order.push((canonical.clone(), v));
                 self.atom_vars.insert(canonical, v);
                 v
             }
@@ -48,9 +67,23 @@ impl Encoder {
     }
 
     /// Encodes `f` and returns a literal equivalent to it; the caller
-    /// typically asserts it with a unit clause.
+    /// typically asserts it with a unit clause. Structurally equal
+    /// subformulas return the same literal (hash-consing).
     pub fn encode(&mut self, f: &Formula) -> Lit {
+        // Atoms and negations need no gate; only gate-allocating
+        // shapes go through the cache.
         match f {
+            Formula::Atom(a) => return self.atom_lit(a),
+            Formula::Mod(_) => {
+                panic!("Mod atoms must be lowered before encoding (see check_sat)")
+            }
+            Formula::Not(g) => return self.encode(g).negated(),
+            _ => {}
+        }
+        if let Some(&l) = self.formula_lits.get(f) {
+            return l;
+        }
+        let out = match f {
             Formula::True => {
                 let v = self.sat.new_var();
                 self.sat.add_clause(&[v.positive()]);
@@ -61,11 +94,6 @@ impl Encoder {
                 self.sat.add_clause(&[v.positive()]);
                 v.negative()
             }
-            Formula::Atom(a) => self.atom_lit(a),
-            Formula::Mod(_) => {
-                panic!("Mod atoms must be lowered before encoding (see check_sat)")
-            }
-            Formula::Not(g) => self.encode(g).negated(),
             Formula::And(fs) => {
                 let lits: Vec<Lit> = fs.iter().map(|g| self.encode(g)).collect();
                 let out = self.sat.new_var().positive();
@@ -92,18 +120,30 @@ impl Encoder {
                 self.sat.add_clause(&clause);
                 out
             }
-        }
+            Formula::Atom(_) | Formula::Mod(_) | Formula::Not(_) => unreachable!(),
+        };
+        self.formula_lits.insert(f.clone(), out);
+        out
     }
 
     /// Iterates over the registered (canonical) atoms and their
-    /// boolean variables.
+    /// boolean variables, in variable-index order. The order is load-
+    /// bearing: it fixes the sequence of theory assertions, and with it
+    /// the theory's conflict cores and models — iterating the hash map
+    /// directly would make whole solver trajectories differ from run
+    /// to run.
     pub fn atoms(&self) -> impl Iterator<Item = (&Atom, BVar)> + '_ {
-        self.atom_vars.iter().map(|(a, v)| (a, *v))
+        self.atom_order.iter().map(|(a, v)| (a, *v))
     }
 
     /// Number of distinct canonical atoms registered.
     pub fn num_atoms(&self) -> usize {
         self.atom_vars.len()
+    }
+
+    /// Number of hash-consed gate subformulas registered.
+    pub fn num_subformulas(&self) -> usize {
+        self.formula_lits.len()
     }
 }
 
@@ -143,6 +183,41 @@ mod tests {
         let root = enc.encode(&f);
         enc.sat.add_clause(&[root]);
         assert_eq!(enc.sat.solve(), SatResult::Sat);
+    }
+
+    #[test]
+    fn reencoding_shares_gates_and_variables() {
+        let mut enc = Encoder::new();
+        let f = Formula::or(vec![
+            Formula::and(vec![le(0, 1), le(1, 1)]),
+            Formula::not(le(0, 1)),
+        ]);
+        let l1 = enc.encode(&f);
+        let vars = enc.sat.num_vars();
+        let gates = enc.num_subformulas();
+        // structurally identical formula: same literal, nothing new
+        let l2 = enc.encode(&f.clone());
+        assert_eq!(l1, l2);
+        assert_eq!(enc.sat.num_vars(), vars);
+        assert_eq!(enc.num_subformulas(), gates);
+        // a formula sharing the And-subtree reuses its gate
+        let g = Formula::or(vec![
+            Formula::and(vec![le(0, 1), le(1, 1)]),
+            le(2, 5),
+        ]);
+        let before = enc.num_subformulas();
+        enc.encode(&g);
+        assert_eq!(enc.num_subformulas(), before + 1, "only the new Or gate");
+    }
+
+    #[test]
+    fn negation_needs_no_gate() {
+        let mut enc = Encoder::new();
+        let a = le(0, 3);
+        let l = enc.encode(&a);
+        let n = enc.encode(&Formula::not(a));
+        assert_eq!(n, l.negated());
+        assert_eq!(enc.num_subformulas(), 0);
     }
 
     #[test]

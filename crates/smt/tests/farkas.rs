@@ -6,43 +6,33 @@
 use linarb_arith::{int, BigRational};
 use linarb_logic::{Atom, LinExpr, Var};
 use linarb_smt::{check_conjunction, BoundKind, Budget, ConjunctionResult};
-use proptest::prelude::*;
+use linarb_testutil::{cases, XorShiftRng};
 
 const DIM: usize = 3;
+const CASES: u64 = 192;
 
-fn arb_atoms() -> impl Strategy<Value = Vec<Atom>> {
-    prop::collection::vec(
-        (
-            prop::collection::vec(-4i64..=4, DIM),
-            -10i64..=10,
-        ),
-        2..10,
-    )
-    .prop_map(|rows| {
-        rows.into_iter()
-            .map(|(w, c)| {
-                let e = LinExpr::from_terms(
-                    w.into_iter()
-                        .enumerate()
-                        .map(|(i, a)| (Var::from_index(i as u32), int(a))),
-                    int(0),
-                );
-                Atom::le(e, LinExpr::constant(int(c)))
-            })
-            .collect()
-    })
+fn rand_atoms(rng: &mut XorShiftRng) -> Vec<Atom> {
+    let n = rng.gen_range(2usize..10);
+    (0..n)
+        .map(|_| {
+            let e = LinExpr::from_terms(
+                (0..DIM).map(|i| (Var::from_index(i as u32), int(rng.gen_range(-4i64..=4)))),
+                int(0),
+            );
+            Atom::le(e, LinExpr::constant(int(rng.gen_range(-10i64..=10))))
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(192))]
-
-    #[test]
-    fn certificates_are_valid_combinations(atoms in arb_atoms()) {
+#[test]
+fn certificates_are_valid_combinations() {
+    cases(CASES, 0xE001, |rng| {
+        let atoms = rand_atoms(rng);
         match check_conjunction(&atoms, &Budget::unlimited()) {
             ConjunctionResult::Sat(m) => {
                 // the model must satisfy every atom
                 for a in &atoms {
-                    prop_assert!(a.holds(&m), "{a} fails under {m:?}");
+                    assert!(a.holds(&m), "{a} fails under {m:?}");
                 }
             }
             ConjunctionResult::Unsat { core, farkas } => {
@@ -59,7 +49,7 @@ proptest! {
                     let mut combo_num = vec![BigRational::zero(); DIM];
                     let mut konst = BigRational::zero();
                     for entry in &cert.entries {
-                        prop_assert!(entry.multiplier.is_positive());
+                        assert!(entry.multiplier.is_positive());
                         // entries reference atoms by tag; both bound
                         // kinds refer to the same inequality e ≤ 0.
                         let atom = &atoms[entry.tag];
@@ -74,9 +64,9 @@ proptest! {
                             + &(&entry.multiplier * &BigRational::from(e.constant_term()));
                     }
                     for (d, c) in combo_num.iter().enumerate() {
-                        prop_assert!(c.is_zero(), "coefficient of x{d} must cancel, got {c}");
+                        assert!(c.is_zero(), "coefficient of x{d} must cancel, got {c}");
                     }
-                    prop_assert!(
+                    assert!(
                         konst.is_positive(),
                         "certificate constant must witness the contradiction, got {konst}"
                     );
@@ -84,19 +74,22 @@ proptest! {
             }
             ConjunctionResult::Unknown => {}
         }
-    }
+    });
+}
 
-    #[test]
-    fn cores_are_themselves_unsat(atoms in arb_atoms()) {
+#[test]
+fn cores_are_themselves_unsat() {
+    cases(CASES, 0xE002, |rng| {
+        let atoms = rand_atoms(rng);
         if let ConjunctionResult::Unsat { core, farkas: Some(_) } =
             check_conjunction(&atoms, &Budget::unlimited())
         {
             let subset: Vec<Atom> = core.iter().map(|&i| atoms[i].clone()).collect();
             let again = check_conjunction(&subset, &Budget::unlimited());
-            prop_assert!(
+            assert!(
                 matches!(again, ConjunctionResult::Unsat { .. }),
                 "the reported core must itself be unsatisfiable"
             );
         }
-    }
+    });
 }

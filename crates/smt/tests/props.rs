@@ -4,36 +4,36 @@
 use linarb_arith::int;
 use linarb_logic::{Atom, Formula, LinExpr, Model, Var};
 use linarb_smt::{check_sat, Budget, SmtResult};
-use proptest::prelude::*;
+use linarb_testutil::{cases, XorShiftRng};
 
 const NVARS: u32 = 3;
 const GRID: i64 = 4; // brute-force grid [-GRID, GRID]^NVARS
+const CASES: u64 = 128;
 
-fn arb_atom() -> impl Strategy<Value = Formula> {
-    (
-        prop::collection::vec(-3i64..=3, NVARS as usize),
-        -6i64..=6,
-    )
-        .prop_map(|(coeffs, k)| {
-            let e = LinExpr::from_terms(
-                coeffs
-                    .into_iter()
-                    .enumerate()
-                    .map(|(i, c)| (Var::from_index(i as u32), int(c))),
-                int(0),
-            );
-            Formula::from(Atom::le(e, LinExpr::constant(int(k))))
-        })
+fn rand_atom(rng: &mut XorShiftRng) -> Formula {
+    let e = LinExpr::from_terms(
+        (0..NVARS).map(|i| (Var::from_index(i), int(rng.gen_range(-3i64..=3)))),
+        int(0),
+    );
+    let k = rng.gen_range(-6i64..=6);
+    Formula::from(Atom::le(e, LinExpr::constant(int(k))))
 }
 
-fn arb_formula() -> impl Strategy<Value = Formula> {
-    arb_atom().prop_recursive(3, 24, 4, |inner| {
-        prop_oneof![
-            prop::collection::vec(inner.clone(), 1..4).prop_map(Formula::and),
-            prop::collection::vec(inner.clone(), 1..4).prop_map(Formula::or),
-            inner.prop_map(Formula::not),
-        ]
-    })
+fn rand_formula(rng: &mut XorShiftRng, depth: u32) -> Formula {
+    if depth == 0 || rng.gen_bool(0.3) {
+        return rand_atom(rng);
+    }
+    match rng.gen_range(0u32..3) {
+        0 => {
+            let n = rng.gen_range(1usize..4);
+            Formula::and((0..n).map(|_| rand_formula(rng, depth - 1)).collect())
+        }
+        1 => {
+            let n = rng.gen_range(1usize..4);
+            Formula::or((0..n).map(|_| rand_formula(rng, depth - 1)).collect())
+        }
+        _ => Formula::not(rand_formula(rng, depth - 1)),
+    }
 }
 
 fn grid_models(f: &Formula) -> Option<Model> {
@@ -58,43 +58,51 @@ fn grid_models(f: &Formula) -> Option<Model> {
     rec(f, 0, &mut point)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn models_satisfy_formula(f in arb_formula()) {
+#[test]
+fn models_satisfy_formula() {
+    cases(CASES, 0xD001, |rng| {
+        let f = rand_formula(rng, 3);
         if let SmtResult::Sat(m) = check_sat(&f, &Budget::unlimited()) {
-            prop_assert!(f.eval(&m), "returned model must satisfy the formula: {f} with {m:?}");
+            assert!(f.eval(&m), "returned model must satisfy the formula: {f} with {m:?}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn grid_witness_implies_sat(f in arb_formula()) {
+#[test]
+fn grid_witness_implies_sat() {
+    cases(CASES, 0xD002, |rng| {
+        let f = rand_formula(rng, 3);
         if grid_models(&f).is_some() {
             let r = check_sat(&f, &Budget::unlimited());
-            prop_assert!(
+            assert!(
                 r.is_sat(),
                 "brute force found a model inside the grid but solver said {r:?} for {f}"
             );
         }
-    }
+    });
+}
 
-    #[test]
-    fn unsat_means_no_grid_witness(f in arb_formula()) {
+#[test]
+fn unsat_means_no_grid_witness() {
+    cases(CASES, 0xD003, |rng| {
+        let f = rand_formula(rng, 3);
         if check_sat(&f, &Budget::unlimited()).is_unsat() {
-            prop_assert!(
+            assert!(
                 grid_models(&f).is_none(),
                 "solver said unsat but the grid contains a model of {f}"
             );
         }
-    }
+    });
+}
 
-    #[test]
-    fn double_negation_preserves_verdict(f in arb_formula()) {
+#[test]
+fn double_negation_preserves_verdict() {
+    cases(CASES, 0xD004, |rng| {
+        let f = rand_formula(rng, 3);
         let g = Formula::not(Formula::not(f.clone()));
         let rf = check_sat(&f, &Budget::unlimited());
         let rg = check_sat(&g, &Budget::unlimited());
-        prop_assert_eq!(rf.is_sat(), rg.is_sat());
-        prop_assert_eq!(rf.is_unsat(), rg.is_unsat());
-    }
+        assert_eq!(rf.is_sat(), rg.is_sat());
+        assert_eq!(rf.is_unsat(), rg.is_unsat());
+    });
 }

@@ -14,14 +14,13 @@
 //!   simple but whose clause systems are big.
 
 use crate::{Benchmark, Category, Expected};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use linarb_testutil::XorShiftRng;
 
 /// Bounded counter loops: `x` from `a` stepping `s` up to `n`.
 /// Safe variants assert the exit window; unsafe variants assert an
 /// exact landing that the step misses.
 pub fn counter_family(count: usize, seed: u64, category: Category) -> Vec<Benchmark> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = XorShiftRng::seed_from_u64(seed);
     let mut out = Vec::new();
     for k in 0..count {
         let a = rng.gen_range(-5i64..=5);
@@ -60,7 +59,7 @@ pub fn counter_family(count: usize, seed: u64, category: Category) -> Vec<Benchm
 /// Two-variable lockstep loops: invariants are equations
 /// (`x = c·y + d`), DIG's sweet spot.
 pub fn equation_family(count: usize, seed: u64, category: Category) -> Vec<Benchmark> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = XorShiftRng::seed_from_u64(seed);
     let mut out = Vec::new();
     for k in 0..count {
         let c = rng.gen_range(1i64..=3);
@@ -87,7 +86,7 @@ pub fn equation_family(count: usize, seed: u64, category: Category) -> Vec<Bench
 /// Phase/mode loops whose invariants are disjunctive: a counter walks
 /// up to a threshold, then a second variable takes over.
 pub fn phase_family(count: usize, seed: u64, category: Category) -> Vec<Benchmark> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = XorShiftRng::seed_from_u64(seed);
     let mut out = Vec::new();
     for k in 0..count {
         let t = rng.gen_range(3i64..=10);
@@ -116,7 +115,7 @@ pub fn phase_family(count: usize, seed: u64, category: Category) -> Vec<Benchmar
 /// Diamond walks (program (a) variants): `x` steps ±1 driven by the
 /// sign of `y`; invariants are genuinely ∨∧-shaped.
 pub fn diamond_family(count: usize, seed: u64, category: Category) -> Vec<Benchmark> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = XorShiftRng::seed_from_u64(seed);
     let mut out = Vec::new();
     for k in 0..count {
         let bias = rng.gen_range(1i64..=3);
@@ -144,7 +143,7 @@ pub fn diamond_family(count: usize, seed: u64, category: Category) -> Vec<Benchm
 
 /// Nested loops accumulating a non-negative quantity.
 pub fn nested_family(count: usize, seed: u64, category: Category) -> Vec<Benchmark> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = XorShiftRng::seed_from_u64(seed);
     let mut out = Vec::new();
     for k in 0..count {
         let step = rng.gen_range(1i64..=3);
@@ -174,7 +173,7 @@ pub fn nested_family(count: usize, seed: u64, category: Category) -> Vec<Benchma
 /// Recursive functions: linear-summary recursion (sum, double, count)
 /// plus some unsafe claims.
 pub fn recursive_family(count: usize, seed: u64, category: Category) -> Vec<Benchmark> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = XorShiftRng::seed_from_u64(seed);
     let mut out = Vec::new();
     for k in 0..count {
         let c = rng.gen_range(1i64..=3);
@@ -210,7 +209,7 @@ pub fn recursive_family(count: usize, seed: u64, category: Category) -> Vec<Benc
 
 /// Assume-guided range programs (loop-invgen style).
 pub fn invgen_family(count: usize, seed: u64, category: Category) -> Vec<Benchmark> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = XorShiftRng::seed_from_u64(seed);
     let mut out = Vec::new();
     for k in 0..count {
         let lo = rng.gen_range(-4i64..=0);
@@ -240,7 +239,7 @@ pub fn invgen_family(count: usize, seed: u64, category: Category) -> Vec<Benchma
 /// each guarded by a 0/1 configuration variable. Program size grows
 /// linearly with `k`; the invariant stays simple.
 pub fn product_lines(k: usize, seed: u64) -> Benchmark {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = XorShiftRng::seed_from_u64(seed);
     let mut decls = String::new();
     let mut body = String::new();
     for i in 0..k {
@@ -276,7 +275,7 @@ pub fn product_lines(k: usize, seed: u64) -> Benchmark {
 /// Psyco-style event loop: an integer state machine with `k` states
 /// and nondeterministic events.
 pub fn psyco(k: usize, seed: u64) -> Benchmark {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = XorShiftRng::seed_from_u64(seed);
     let mut body = String::new();
     for i in 0..k {
         let next = rng.gen_range(0..k as i64);

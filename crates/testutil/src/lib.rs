@@ -1,0 +1,260 @@
+//! Dependency-free deterministic randomness for linarb.
+//!
+//! The container builds with no network access, so the workspace
+//! cannot pull `rand`/`proptest`/`criterion` from crates.io. This
+//! crate replaces them with the two pieces the workspace actually
+//! needs:
+//!
+//! * [`XorShiftRng`] — a seeded xorshift64* generator with a
+//!   `rand`-like `gen_range`/`gen_bool` surface, used both by
+//!   production code that needs reproducible pseudo-randomness (the
+//!   SVM subgradient sampler, the benchmark generators) and by tests;
+//! * [`cases`] — a minimal property-test loop: run a closure over `n`
+//!   seeded generators, reporting the failing seed on panic.
+//!
+//! Determinism is a feature: the same seed always yields the same
+//! stream on every platform, so generated benchmark corpora and
+//! learned classifiers are stable across runs.
+
+use std::ops::{Range, RangeInclusive};
+
+/// A seeded xorshift64* pseudo-random generator.
+///
+/// ```
+/// use linarb_testutil::XorShiftRng;
+/// let mut a = XorShiftRng::seed_from_u64(42);
+/// let mut b = XorShiftRng::seed_from_u64(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// let v = a.gen_range(-5i64..=5);
+/// assert!((-5..=5).contains(&v));
+/// ```
+#[derive(Clone, Debug)]
+pub struct XorShiftRng {
+    state: u64,
+}
+
+impl XorShiftRng {
+    /// Creates a generator from a seed; distinct seeds give unrelated
+    /// streams (the seed is pre-mixed with splitmix64).
+    pub fn seed_from_u64(seed: u64) -> XorShiftRng {
+        // splitmix64 guarantees a non-zero, well-mixed initial state.
+        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        XorShiftRng { state: z | 1 }
+    }
+
+    /// The next raw 64-bit value (xorshift64*).
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// A uniform value in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Samples uniformly from a range; supports `a..b` and `a..=b`
+    /// over the common integer types.
+    pub fn gen_range<R: UniformRange>(&mut self, range: R) -> R::Output {
+        range.sample(self)
+    }
+
+    /// `true` with probability `p`.
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0, "empty range");
+        // Multiply-shift with rejection of the biased zone.
+        let zone = u64::MAX - u64::MAX % n;
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return v % n;
+            }
+        }
+    }
+}
+
+/// Range types [`XorShiftRng::gen_range`] can sample from.
+pub trait UniformRange {
+    /// The sampled value type.
+    type Output;
+    /// Draws a uniform sample.
+    fn sample(self, rng: &mut XorShiftRng) -> Self::Output;
+}
+
+macro_rules! impl_uniform_signed {
+    ($($t:ty),*) => {$(
+        impl UniformRange for Range<$t> {
+            type Output = $t;
+            fn sample(self, rng: &mut XorShiftRng) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+        impl UniformRange for RangeInclusive<$t> {
+            type Output = $t;
+            fn sample(self, rng: &mut XorShiftRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range");
+                let span = (hi as i128 - lo as i128 + 1) as u64;
+                (lo as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+impl_uniform_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_uniform_unsigned {
+    ($($t:ty),*) => {$(
+        impl UniformRange for Range<$t> {
+            type Output = $t;
+            fn sample(self, rng: &mut XorShiftRng) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + rng.below(span) as $t
+            }
+        }
+        impl UniformRange for RangeInclusive<$t> {
+            type Output = $t;
+            fn sample(self, rng: &mut XorShiftRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range");
+                if lo == 0 && hi as u128 == <$t>::MAX as u128 {
+                    return rng.next_u64() as $t;
+                }
+                let span = (hi - lo) as u64 + 1;
+                lo + rng.below(span) as $t
+            }
+        }
+    )*};
+}
+impl_uniform_unsigned!(u8, u16, u32, u64, usize);
+
+impl UniformRange for Range<i128> {
+    type Output = i128;
+    fn sample(self, rng: &mut XorShiftRng) -> i128 {
+        assert!(self.start < self.end, "empty range");
+        let span = self.end.wrapping_sub(self.start) as u128;
+        if span <= u64::MAX as u128 {
+            self.start + rng.below(span as u64) as i128
+        } else {
+            // wide span: 128 random bits, modulo bias negligible here
+            let wide = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+            self.start.wrapping_add((wide % span) as i128)
+        }
+    }
+}
+
+impl UniformRange for RangeInclusive<i128> {
+    type Output = i128;
+    fn sample(self, rng: &mut XorShiftRng) -> i128 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty range");
+        if lo == i128::MIN && hi == i128::MAX {
+            return any_i128(rng);
+        }
+        if hi == i128::MAX {
+            return (lo - 1..hi).sample(rng) + 1;
+        }
+        (lo..hi + 1).sample(rng)
+    }
+}
+
+/// An arbitrary `i128` (full width).
+pub fn any_i128(rng: &mut XorShiftRng) -> i128 {
+    (((rng.next_u64() as u128) << 64) | rng.next_u64() as u128) as i128
+}
+
+/// An arbitrary `i64` (full width).
+pub fn any_i64(rng: &mut XorShiftRng) -> i64 {
+    rng.next_u64() as i64
+}
+
+/// Minimal property-test driver: runs `body` for `n` seeded
+/// generators. On panic the failing case index is part of the seed
+/// (`base_seed + i`), so failures reproduce by construction.
+pub fn cases(n: u64, base_seed: u64, mut body: impl FnMut(&mut XorShiftRng)) {
+    for i in 0..n {
+        let mut rng = XorShiftRng::seed_from_u64(base_seed.wrapping_add(i));
+        body(&mut rng);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = XorShiftRng::seed_from_u64(7);
+        let mut b = XorShiftRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = XorShiftRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(-5i64..=5);
+            assert!((-5..=5).contains(&v));
+            let u = rng.gen_range(0usize..7);
+            assert!(u < 7);
+            let w = rng.gen_range(3i32..4);
+            assert_eq!(w, 3);
+        }
+    }
+
+    #[test]
+    fn all_values_reachable_small_range() {
+        let mut rng = XorShiftRng::seed_from_u64(3);
+        let mut seen = [false; 11];
+        for _ in 0..1_000 {
+            let v = rng.gen_range(-5i64..=5);
+            seen[(v + 5) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "{seen:?}");
+    }
+
+    #[test]
+    fn gen_bool_probabilities() {
+        let mut rng = XorShiftRng::seed_from_u64(9);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2_000..3_000).contains(&hits), "{hits}");
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn seeds_decorrelate() {
+        // consecutive seeds must not produce overlapping prefixes
+        let a: Vec<u64> = {
+            let mut r = XorShiftRng::seed_from_u64(100);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = XorShiftRng::seed_from_u64(101);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn cases_runs_n_times() {
+        let mut count = 0;
+        cases(32, 0xABC, |_| count += 1);
+        assert_eq!(count, 32);
+    }
+}

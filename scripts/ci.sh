@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Offline CI gate: build, test, perf smoke. No network access needed —
+# the workspace has no external dependencies and `--offline` makes
+# cargo fail loudly rather than silently reach for the index.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build (release) =="
+cargo build --release --offline
+
+echo "== tests =="
+cargo test -q --offline --workspace
+
+echo "== perf smoke (incremental vs fresh oracle) =="
+# Writes BENCH_<n>.json into the repo root; see EXPERIMENTS.md for the
+# report schema. Keep the per-benchmark budget modest in CI.
+LINARB_SMOKE_TIMEOUT_MS="${LINARB_SMOKE_TIMEOUT_MS:-30000}" \
+    cargo run --release --offline -p linarb-bench --bin perf_smoke
+
+echo "== ci ok =="

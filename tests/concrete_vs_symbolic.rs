@@ -12,14 +12,13 @@ use linarb::frontend::{execute, parse_program, ExecOutcome, NondetScript};
 use linarb::smt::Budget;
 use linarb::solver::{solve_system, SolverConfig};
 use linarb::suite::{chc381_scaled, Expected};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use linarb_testutil::XorShiftRng;
 use std::time::Duration;
 
 fn random_runs(src: &str, runs: usize, seed: u64) -> (bool, bool) {
     // (saw_assert_failure, saw_completion)
     let prog = parse_program(src).expect("corpus programs parse");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = XorShiftRng::seed_from_u64(seed);
     let mut failed = false;
     let mut completed = false;
     for _ in 0..runs {
@@ -27,9 +26,9 @@ fn random_runs(src: &str, runs: usize, seed: u64) -> (bool, bool) {
             .map(|_| {
                 // mix of small values and loop-continue bits
                 if rng.gen_bool(0.5) {
-                    rng.gen_range(-8..=8)
+                    rng.gen_range(-8i128..=8)
                 } else {
-                    rng.gen_range(0..=1)
+                    rng.gen_range(0i128..=1)
                 }
             })
             .collect();
