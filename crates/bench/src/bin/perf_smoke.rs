@@ -10,6 +10,10 @@
 //!
 //! Knobs: `LINARB_SMOKE_TIMEOUT_MS` (per-benchmark budget, default
 //! 60000) and `LINARB_SMOKE_OUT_DIR` (report directory, default `.`).
+//! When `LINARB_SMOKE_BASELINE` names an earlier `BENCH_<n>.json`, the
+//! run additionally asserts that wall time has not regressed past
+//! `LINARB_SMOKE_TOLERANCE` (a factor, default 1.25) of the baseline —
+//! the tracing layer's disabled-overhead guard.
 
 use linarb_bench::env_or;
 use linarb_smt::Budget;
@@ -25,8 +29,14 @@ struct ModeRun {
     smt_checks: usize,
     smt_checks_skipped: usize,
     ctx_reuse_hits: usize,
-    learned_clauses: u64,
+    learned_clauses: usize,
     per_bench: Vec<(String, Duration)>,
+    /// Per-phase span totals (seconds) over the whole mode run, from
+    /// the metrics layer: where oracle time ends and learner time
+    /// begins.
+    oracle_s: f64,
+    learner_s: f64,
+    sample_extraction_s: f64,
 }
 
 fn run_mode(mode: OracleMode, suite: &[linarb_suite::Benchmark], timeout: Duration) -> ModeRun {
@@ -38,7 +48,11 @@ fn run_mode(mode: OracleMode, suite: &[linarb_suite::Benchmark], timeout: Durati
         ctx_reuse_hits: 0,
         learned_clauses: 0,
         per_bench: Vec::new(),
+        oracle_s: 0.0,
+        learner_s: 0.0,
+        sample_extraction_s: 0.0,
     };
+    let scope = linarb_trace::MetricsScope::new();
     for b in suite {
         let config = SolverConfig::default().with_oracle(mode);
         let mut solver = CegarSolver::new(&b.system, config);
@@ -66,6 +80,10 @@ fn run_mode(mode: OracleMode, suite: &[linarb_suite::Benchmark], timeout: Durati
             stats.smt_checks_skipped,
         );
     }
+    let report = scope.take_report();
+    run.oracle_s = report.timer_secs("core.oracle");
+    run.learner_s = report.timer_secs("core.learner");
+    run.sample_extraction_s = report.timer_secs("core.sample_extraction");
     run
 }
 
@@ -80,7 +98,17 @@ fn next_report_path(dir: &PathBuf) -> PathBuf {
     unreachable!()
 }
 
+/// Reads `fresh.wall_s + incremental.wall_s` out of an earlier
+/// `BENCH_<n>.json` report (any PR-2-era or later shape).
+fn baseline_wall_s(path: &str) -> Option<f64> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let doc = linarb_trace::json::parse(&text).ok()?;
+    let mode_wall = |m: &str| doc.get(m)?.get("wall_s")?.as_f64();
+    Some(mode_wall("fresh")? + mode_wall("incremental")?)
+}
+
 fn main() {
+    linarb_trace::init_from_env();
     let timeout = Duration::from_millis(env_or("LINARB_SMOKE_TIMEOUT_MS", 60_000u64));
     let out_dir = PathBuf::from(
         std::env::var("LINARB_SMOKE_OUT_DIR").unwrap_or_else(|_| ".".to_string()),
@@ -180,6 +208,13 @@ fn main() {
         writeln!(json, "    \"full_smt_checks\": {full},").unwrap();
         writeln!(json, "    \"ctx_reuse_hits\": {},", run.ctx_reuse_hits).unwrap();
         writeln!(json, "    \"learned_clauses\": {},", run.learned_clauses).unwrap();
+        writeln!(
+            json,
+            "    \"phases\": {{\"oracle_s\": {:.3}, \"learner_s\": {:.3}, \
+             \"sample_extraction_s\": {:.3}}},",
+            run.oracle_s, run.learner_s, run.sample_extraction_s
+        )
+        .unwrap();
         let times: Vec<String> = run
             .per_bench
             .iter()
@@ -194,6 +229,29 @@ fn main() {
     writeln!(json, "  \"solved_subset_speedup\": {solved_speedup:.3},").unwrap();
     writeln!(json, "  \"full_check_reduction\": {check_reduction:.3}").unwrap();
     writeln!(json, "}}").unwrap();
+
+    // Disabled-overhead guard: with no sinks installed, the tracing
+    // layer must not move these wall times. CI points this at the
+    // newest pre-existing report; the tolerance absorbs machine noise.
+    if let Ok(baseline_path) = std::env::var("LINARB_SMOKE_BASELINE") {
+        let tolerance: f64 = env_or("LINARB_SMOKE_TOLERANCE", 1.25f64);
+        match baseline_wall_s(&baseline_path) {
+            Some(base) if base > 0.0 => {
+                let now = fresh.wall.as_secs_f64() + inc.wall.as_secs_f64();
+                let ratio = now / base;
+                eprintln!(
+                    "overhead check: {now:.3}s vs baseline {base:.3}s \
+                     (ratio {ratio:.3}, tolerance {tolerance:.2})"
+                );
+                assert!(
+                    ratio <= tolerance,
+                    "wall-clock regressed {ratio:.3}x past baseline {baseline_path} \
+                     (tolerance {tolerance:.2})"
+                );
+            }
+            _ => eprintln!("overhead check skipped: cannot read {baseline_path}"),
+        }
+    }
 
     let path = next_report_path(&out_dir);
     std::fs::write(&path, &json).expect("write report");

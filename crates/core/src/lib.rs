@@ -53,6 +53,7 @@ use linarb_logic::{
 };
 use linarb_ml::{learn, Dataset, LearnConfig, LearnError, Sample};
 use linarb_smt::{check_sat, Budget, IncrementalSolver, Lit, SmtResult};
+use linarb_trace::{event, Level, MetricsReport};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::fmt;
 use std::sync::Arc;
@@ -317,13 +318,35 @@ pub struct SolveStats {
     /// CDCL clauses learned across all persistent clause contexts
     /// (zero in [`OracleMode::Fresh`], whose learning is discarded
     /// after every check).
-    pub learned_clauses: u64,
+    pub learned_clauses: usize,
     /// Total samples across predicates (the paper's `#S`).
     pub samples: usize,
     /// Positive samples across predicates.
     pub positive_samples: usize,
     /// Learner invocations.
     pub learn_calls: usize,
+}
+
+impl SolveStats {
+    /// Folds these statistics into a [`MetricsReport`] as `core.*`
+    /// counters (the serde-free path from solver stats to JSON).
+    pub fn export_into(&self, report: &mut MetricsReport) {
+        report.set_counter("core.iterations", self.iterations as u64);
+        report.set_counter("core.smt_checks", self.smt_checks as u64);
+        report.set_counter("core.smt_checks_skipped", self.smt_checks_skipped as u64);
+        report.set_counter("core.ctx_reuse_hits", self.ctx_reuse_hits as u64);
+        report.set_counter("core.learned_clauses", self.learned_clauses as u64);
+        report.set_counter("core.samples", self.samples as u64);
+        report.set_counter("core.positive_samples", self.positive_samples as u64);
+        report.set_counter("core.learn_calls", self.learn_calls as u64);
+    }
+
+    /// The statistics as a standalone JSON report.
+    pub fn to_json(&self) -> String {
+        let mut r = MetricsReport::default();
+        self.export_into(&mut r);
+        r.to_json()
+    }
 }
 
 /// A persistent DPLL(T) context for one clause.
@@ -401,6 +424,25 @@ impl<'a> CegarSolver<'a> {
 
     /// Runs Algorithm 3 to completion (or budget exhaustion).
     pub fn solve(&mut self, budget: &Budget) -> SolveResult {
+        let mut span = linarb_trace::span(Level::Info, "core", "cegar.solve");
+        if span.active() {
+            span.record("clauses", self.sys.clauses().len());
+            span.record("preds", self.sys.preds().len());
+        }
+        let result = self.solve_inner(budget);
+        if span.active() {
+            span.record("result", match &result {
+                SolveResult::Sat(_) => "sat",
+                SolveResult::Unsat(_) => "unsat",
+                SolveResult::Unknown(_) => "unknown",
+            });
+            span.record("iterations", self.stats.iterations);
+            span.record("samples", self.stats.samples);
+        }
+        result
+    }
+
+    fn solve_inner(&mut self, budget: &Budget) -> SolveResult {
         // Dirty-set scheduling: a clause needs (re)checking iff the
         // interpretation of a predicate it mentions changed.
         let mut dirty: VecDeque<ClauseId> =
@@ -417,6 +459,8 @@ impl<'a> CegarSolver<'a> {
             // Inner loop: resolve this clause until valid.
             loop {
                 self.stats.iterations += 1;
+                event!(Level::Debug, "core", "cegar.iteration",
+                    "n" => self.stats.iterations, "clause" => clause.id.0);
                 if self.stats.iterations > self.config.max_iterations {
                     self.finalize_stats();
                     return SolveResult::Unknown(UnknownReason::IterationLimit);
@@ -471,21 +515,29 @@ impl<'a> CegarSolver<'a> {
         self.stats.learned_clauses = self
             .contexts
             .values()
-            .map(|c| c.solver.learned_clauses())
+            .map(|c| c.solver.learned_clauses() as usize)
             .sum();
     }
 
     /// One SMT validity check of `clause` under the current
     /// interpretation, through the configured oracle.
     fn check_clause(&mut self, clause: &Clause, budget: &Budget) -> SmtResult {
+        // The span covers skipped/cached answers too: "core.oracle" in
+        // the metrics report is the loop's total oracle-side time.
+        let mut span = linarb_trace::span(Level::Debug, "core", "core.oracle");
         self.stats.smt_checks += 1;
-        match self.config.oracle {
+        let result = match self.config.oracle {
             OracleMode::Fresh => {
                 let check = self.sys.validity_check(clause, &self.interp);
                 check_sat(&check, budget)
             }
             OracleMode::Incremental => self.check_clause_incremental(clause, budget),
+        };
+        if span.active() {
+            span.record("clause", clause.id.0);
+            span.record("result", result.label());
         }
+        result
     }
 
     fn check_clause_incremental(&mut self, clause: &Clause, budget: &Budget) -> SmtResult {
@@ -576,11 +628,14 @@ impl<'a> CegarSolver<'a> {
 
     fn resolve(&mut self, clause: &Clause, model: Model) -> Resolution {
         // Convert the countermodel into samples (Z3Eval).
-        let body_samples: Vec<(PredId, Sample)> = clause
-            .body_preds
-            .iter()
-            .map(|app| (app.pred, app.eval_args(&model)))
-            .collect();
+        let body_samples: Vec<(PredId, Sample)> = {
+            let _sp = linarb_trace::span(Level::Trace, "core", "core.sample_extraction");
+            clause
+                .body_preds
+                .iter()
+                .map(|app| (app.pred, app.eval_args(&model)))
+                .collect()
+        };
         let all_positive = body_samples
             .iter()
             .all(|(p, s)| self.data[p].contains_positive(s));
@@ -599,6 +654,8 @@ impl<'a> CegarSolver<'a> {
                         .entry((h, sh))
                         .or_insert((clause.id, body_samples, model));
                     self.interp.remove(&h); // back to `true`
+                    event!(Level::Debug, "core", "cegar.head_weakened",
+                        "clause" => clause.id.0, "pred" => h.0);
                     Resolution::HeadWeakened(h)
                 }
                 ClauseHead::Goal(_) => {
@@ -609,6 +666,7 @@ impl<'a> CegarSolver<'a> {
                         .map(|(p, s)| self.build_derivation(*p, s))
                         .collect();
                     self.finalize_stats();
+                    event!(Level::Info, "core", "cegar.refuted", "clause" => clause.id.0);
                     Resolution::Refuted(DerivationNode {
                         pred: None,
                         sample: Vec::new(),
@@ -636,6 +694,11 @@ impl<'a> CegarSolver<'a> {
                 changed = body_samples.iter().map(|(p, _)| *p).collect();
                 changed.dedup();
             }
+            let mut span = linarb_trace::span(Level::Debug, "core", "core.learner");
+            if span.active() {
+                span.record("clause", clause.id.0);
+                span.record("preds", changed.len());
+            }
             for p in &changed {
                 let pred = self.sys.pred(*p);
                 self.stats.learn_calls += 1;
@@ -654,6 +717,9 @@ impl<'a> CegarSolver<'a> {
                     }
                 }
             }
+            drop(span);
+            event!(Level::Debug, "core", "cegar.body_strengthened",
+                "clause" => clause.id.0, "preds" => changed.len());
             Resolution::BodyStrengthened(changed)
         }
     }

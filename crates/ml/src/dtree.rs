@@ -115,6 +115,14 @@ impl DecisionTree {
         }
     }
 
+    /// Depth of the tree (a lone leaf has depth 1).
+    pub fn depth(&self) -> usize {
+        match self {
+            DecisionTree::Leaf(_) => 1,
+            DecisionTree::Node { then, els, .. } => 1 + then.depth().max(els.depth()),
+        }
+    }
+
     /// Converts the tree into the disjunction over all paths reaching
     /// positive leaves (the paper's DT-to-formula conversion).
     pub fn to_formula(&self, features: &[Feature], params: &[Var]) -> Formula {

@@ -54,6 +54,32 @@ pub fn learn(
     params: &[Var],
     config: &LearnConfig,
 ) -> Result<(Formula, LearnStats), LearnError> {
+    use linarb_trace::Level;
+    let mut span = linarb_trace::span(Level::Debug, "ml", "ml.learn");
+    if !span.active() {
+        return learn_inner(data, params, config);
+    }
+    span.record("pos", data.num_positive());
+    span.record("neg", data.num_negative());
+    span.record("dims", params.len());
+    let result = learn_inner(data, params, config);
+    match &result {
+        Ok((_, stats)) => {
+            span.record("la_atoms", stats.la_atoms);
+            span.record("dt_used", stats.dt_used);
+            span.record("dt_size", stats.dt_size);
+        }
+        Err(_) => span.record("error", true),
+    }
+    result
+}
+
+fn learn_inner(
+    data: &Dataset,
+    params: &[Var],
+    config: &LearnConfig,
+) -> Result<(Formula, LearnStats), LearnError> {
+    use linarb_trace::{event, Level};
     let mut stats = LearnStats::default();
     // Degenerate classes do not need the pipeline.
     if data.num_positive() == 0 {
@@ -98,10 +124,13 @@ pub fn learn(
         }
     }
 
+    event!(Level::Trace, "ml", "ml.features", "candidates" => features.len());
     match dt_learn(data, &features) {
         Some(tree) => {
             stats.dt_used = true;
             stats.dt_size = tree.size();
+            event!(Level::Trace, "ml", "ml.dtree",
+                "size" => tree.size(), "depth" => tree.depth());
             Ok((tree.to_formula(&features, params), stats))
         }
         // Lemma 3.1 fallback: the raw LinearArbitrary classifier is

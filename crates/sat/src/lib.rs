@@ -147,6 +147,13 @@ pub struct SatSolver {
     conflicts: u64,
     propagations: u64,
     learned: u64,
+    restarts: u64,
+    /// Learned-clause size aggregate (count, sum, and per-solve-call
+    /// min/max), kept as plain integers so the hot learning path never
+    /// touches the metrics registry; flushed once per solve call.
+    lsz_sum: u64,
+    lsz_min: u64,
+    lsz_max: u64,
     assumption_core: Vec<Lit>,
 }
 
@@ -176,6 +183,10 @@ impl SatSolver {
             conflicts: 0,
             propagations: 0,
             learned: 0,
+            restarts: 0,
+            lsz_sum: 0,
+            lsz_min: u64::MAX,
+            lsz_max: 0,
             assumption_core: Vec::new(),
         }
     }
@@ -213,6 +224,16 @@ impl SatSolver {
     /// this grows monotonically over an incremental session.
     pub fn num_learned(&self) -> u64 {
         self.learned
+    }
+
+    /// Number of search restarts performed so far (for statistics).
+    pub fn num_restarts(&self) -> u64 {
+        self.restarts
+    }
+
+    /// Number of clauses currently stored (problem + learned).
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
     }
 
     /// Caps the number of conflicts a single [`solve`](Self::solve)
@@ -477,6 +498,42 @@ impl SatSolver {
     /// clause set (the *final conflict*). An empty core means the
     /// clause set is unsatisfiable regardless of assumptions.
     pub fn solve_under_assumptions(&mut self, assumptions: &[Lit]) -> SatResult {
+        use linarb_trace::{metrics, Level};
+        let mut span = linarb_trace::span(Level::Debug, "sat", "sat.solve");
+        if !span.active() {
+            return self.search(assumptions);
+        }
+        let before = (self.conflicts, self.propagations, self.learned, self.restarts);
+        self.lsz_min = u64::MAX;
+        self.lsz_max = 0;
+        let lsz_sum0 = self.lsz_sum;
+        let learned0 = self.learned;
+        let result = self.search(assumptions);
+        let d_conflicts = self.conflicts - before.0;
+        let d_props = self.propagations - before.1;
+        let d_learned = self.learned - before.2;
+        let d_restarts = self.restarts - before.3;
+        metrics::counter("sat.conflicts", d_conflicts);
+        metrics::counter("sat.propagations", d_props);
+        metrics::counter("sat.restarts", d_restarts);
+        if d_learned > 0 {
+            metrics::histogram_bulk(
+                "sat.learned_size",
+                self.learned - learned0,
+                self.lsz_sum - lsz_sum0,
+                self.lsz_min,
+                self.lsz_max,
+            );
+        }
+        span.record("result", format!("{result:?}"));
+        span.record("conflicts", d_conflicts);
+        span.record("propagations", d_props);
+        span.record("learned", d_learned);
+        span.record("restarts", d_restarts);
+        result
+    }
+
+    fn search(&mut self, assumptions: &[Lit]) -> SatResult {
         self.assumption_core.clear();
         if !self.ok {
             return SatResult::Unsat;
@@ -508,6 +565,10 @@ impl SatSolver {
                 self.backtrack_to(bt);
                 self.var_inc /= 0.95;
                 self.learned += 1;
+                let sz = learned.len() as u64;
+                self.lsz_sum += sz;
+                self.lsz_min = self.lsz_min.min(sz);
+                self.lsz_max = self.lsz_max.max(sz);
                 match learned.len() {
                     1 => {
                         if self.lit_value(learned[0]) == Some(false) {
@@ -531,6 +592,7 @@ impl SatSolver {
                 if conflicts_since_restart >= restart_limit {
                     conflicts_since_restart = 0;
                     restart_limit = restart_limit + restart_limit / 2;
+                    self.restarts += 1;
                     self.backtrack_to(0);
                     continue;
                 }

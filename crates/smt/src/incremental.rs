@@ -129,12 +129,18 @@ impl IncrementalSolver {
     /// Asserts `f` unconditionally: it holds in every subsequent
     /// [`check`](Self::check), forever.
     pub fn assert_permanent(&mut self, f: &Formula) {
+        use linarb_trace::{event, Level};
         let f = self.prepare(f);
         let mut atoms = Vec::new();
         self.atom_vars_of(&f, &mut atoms);
         self.permanent_atoms.extend(atoms);
+        let clauses0 = self.enc.sat.num_clauses();
+        let vars0 = self.enc.sat.num_vars();
         let root = self.enc.encode(&f);
         self.enc.sat.add_clause(&[root]);
+        event!(Level::Trace, "smt", "inc.assert_permanent",
+            "new_clauses" => self.enc.sat.num_clauses() - clauses0,
+            "new_vars" => self.enc.sat.num_vars() - vars0);
     }
 
     /// Asserts `f` under a fresh activation literal and returns it.
@@ -142,19 +148,42 @@ impl IncrementalSolver {
     /// the returned literal; retracting it is simply never passing the
     /// literal again (no solver work, no state lost).
     pub fn push_guarded(&mut self, f: &Formula) -> Lit {
+        use linarb_trace::{event, Level};
         let f = self.prepare(f);
         let mut atoms = Vec::new();
         self.atom_vars_of(&f, &mut atoms);
+        let clauses0 = self.enc.sat.num_clauses();
+        let vars0 = self.enc.sat.num_vars();
         let act = self.enc.sat.new_var().positive();
         let root = self.enc.encode(&f);
         self.enc.sat.add_clause(&[act.negated(), root]);
         self.guard_atoms.insert(act, atoms);
+        event!(Level::Trace, "smt", "inc.push_guarded",
+            "new_clauses" => self.enc.sat.num_clauses() - clauses0,
+            "new_vars" => self.enc.sat.num_vars() - vars0);
         act
     }
 
     /// Decides satisfiability of the permanent assertions plus every
     /// guarded formula whose activation literal appears in `active`.
     pub fn check(&mut self, active: &[Lit], budget: &Budget) -> SmtResult {
+        use linarb_trace::{metrics, Level};
+        let mut span = linarb_trace::span(Level::Debug, "smt", "smt.inc_check");
+        let learned0 = self.enc.sat.num_learned();
+        let mut rounds = 0u64;
+        let result = self.check_inner(active, budget, &mut rounds);
+        metrics::counter("smt.inc_checks", 1);
+        if span.active() {
+            span.record("active", active.len());
+            span.record("rounds", rounds);
+            span.record("learned", self.enc.sat.num_learned() - learned0);
+            span.record("result", result.label());
+        }
+        result
+    }
+
+    fn check_inner(&mut self, active: &[Lit], budget: &Budget, rounds: &mut u64) -> SmtResult {
+        use linarb_trace::{event, metrics, Level};
         self.checks += 1;
         self.enc.sat.set_conflict_limit(budget.conflict_limit());
         if self.reset_decisions {
@@ -184,8 +213,11 @@ impl IncrementalSolver {
         let mut had_theory_unknown = false;
         loop {
             if budget.exhausted() {
+                event!(Level::Debug, "smt", "smt.budget_exhausted", "rounds" => *rounds);
+                metrics::counter("smt.budget_exhausted", 1);
                 return SmtResult::Unknown;
             }
+            *rounds += 1;
             match self.enc.sat.solve_under_assumptions(&assumptions) {
                 SatResult::Unsat => {
                     return if had_theory_unknown { SmtResult::Unknown } else { SmtResult::Unsat }

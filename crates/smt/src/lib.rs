@@ -84,6 +84,15 @@ impl SmtResult {
     pub fn is_sat(&self) -> bool {
         matches!(self, SmtResult::Sat(_))
     }
+
+    /// Stable lower-case label (used in trace events).
+    pub fn label(&self) -> &'static str {
+        match self {
+            SmtResult::Sat(_) => "sat",
+            SmtResult::Unsat => "unsat",
+            SmtResult::Unknown => "unknown",
+        }
+    }
 }
 
 /// Result of a conjunction check ([`check_conjunction`]).
@@ -167,6 +176,19 @@ fn lower_mods_from(f: &Formula, next: &mut u32) -> Formula {
 /// Decides satisfiability of a QF_LIA formula (with optional
 /// divisibility atoms), producing an integer model when satisfiable.
 pub fn check_sat(f: &Formula, budget: &Budget) -> SmtResult {
+    use linarb_trace::Level;
+    let mut span = linarb_trace::span(Level::Debug, "smt", "smt.check_sat");
+    let mut rounds = 0u64;
+    let result = check_sat_inner(f, budget, &mut rounds);
+    if span.active() {
+        span.record("rounds", rounds);
+        span.record("result", result.label());
+    }
+    result
+}
+
+fn check_sat_inner(f: &Formula, budget: &Budget, rounds: &mut u64) -> SmtResult {
+    use linarb_trace::{event, metrics, Level};
     let f = lower_mods(f).simplify();
     match f {
         Formula::True => return SmtResult::Sat(Model::new()),
@@ -177,6 +199,11 @@ pub fn check_sat(f: &Formula, budget: &Budget) -> SmtResult {
     let root = enc.encode(&f);
     enc.sat.add_clause(&[root]);
     enc.sat.set_conflict_limit(budget.conflict_limit());
+    event!(Level::Trace, "smt", "tseitin.encoded",
+        "atoms" => enc.num_atoms(),
+        "subformulas" => enc.num_subformulas(),
+        "clauses" => enc.sat.num_clauses());
+    metrics::counter("smt.tseitin_clauses", enc.sat.num_clauses() as u64);
     // Whether some boolean assignment was abandoned because the theory
     // solver could not decide it: an eventual boolean Unsat is then
     // only "unknown" (the abandoned assignment might have been
@@ -184,8 +211,11 @@ pub fn check_sat(f: &Formula, budget: &Budget) -> SmtResult {
     let mut had_theory_unknown = false;
     loop {
         if budget.exhausted() {
+            event!(Level::Debug, "smt", "smt.budget_exhausted", "rounds" => *rounds);
+            metrics::counter("smt.budget_exhausted", 1);
             return SmtResult::Unknown;
         }
+        *rounds += 1;
         match enc.sat.solve() {
             SatResult::Unsat => {
                 return if had_theory_unknown { SmtResult::Unknown } else { SmtResult::Unsat }

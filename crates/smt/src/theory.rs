@@ -67,6 +67,8 @@ pub struct TheoryLia {
     asserted: Vec<(Atom, Tag)>,
     max_pivots: u64,
     max_branch_nodes: u64,
+    /// Cumulative branch-and-bound nodes explored (statistics).
+    branch_nodes: u64,
 }
 
 impl TheoryLia {
@@ -80,7 +82,19 @@ impl TheoryLia {
             asserted: Vec::new(),
             max_pivots: 200_000,
             max_branch_nodes: 512,
+            branch_nodes: 0,
         }
+    }
+
+    /// Cumulative branch-and-bound nodes explored by
+    /// [`check`](Self::check) calls on this context (statistics).
+    pub fn num_branch_nodes(&self) -> u64 {
+        self.branch_nodes
+    }
+
+    /// Total simplex pivots performed on the base tableau (statistics).
+    pub fn num_pivots(&self) -> u64 {
+        self.simplex.num_pivots()
     }
 
     /// Overrides the branch-and-bound node limit (default 512).
@@ -155,6 +169,28 @@ impl TheoryLia {
 
     /// Decides integer feasibility of everything asserted so far.
     pub fn check(&mut self, budget: &Budget) -> TheoryVerdict {
+        use linarb_trace::{metrics, Level};
+        let mut span = linarb_trace::span(Level::Trace, "smt", "smt.theory_check");
+        if !span.active() {
+            return self.check_inner(budget);
+        }
+        let pivots0 = self.simplex.num_pivots();
+        let nodes0 = self.branch_nodes;
+        let verdict = self.check_inner(budget);
+        metrics::counter("smt.simplex_pivots", self.simplex.num_pivots() - pivots0);
+        metrics::counter("smt.branch_nodes", self.branch_nodes - nodes0);
+        span.record("pivots", self.simplex.num_pivots() - pivots0);
+        span.record("branch_nodes", self.branch_nodes - nodes0);
+        span.record("verdict", match &verdict {
+            TheoryVerdict::Feasible(_) => "feasible",
+            TheoryVerdict::Infeasible { .. } => "infeasible",
+            TheoryVerdict::Unknown => "unknown",
+        });
+        verdict
+    }
+
+    fn check_inner(&mut self, budget: &Budget) -> TheoryVerdict {
+        use linarb_trace::{event, metrics, Level};
         // Diophantine reasoning over the asserted equalities: catches
         // integer-infeasible systems that are rationally feasible
         // (e.g. parity conflicts `2q = x ∧ 2q' = x − 1`), on which
@@ -178,7 +214,10 @@ impl TheoryLia {
         let mut nodes = 0u64;
         while let Some(state) = queue.pop_front() {
             nodes += 1;
+            self.branch_nodes += 1;
             if nodes > self.max_branch_nodes || budget.exhausted() {
+                event!(Level::Debug, "smt", "theory.budget_exhausted", "nodes" => nodes);
+                metrics::counter("smt.theory_unknown", 1);
                 return TheoryVerdict::Unknown;
             }
             // state is rationally feasible; find a fractional variable.

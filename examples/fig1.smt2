@@ -1,0 +1,12 @@
+; The paper's Fig. 1 loop as a CHC system: x = 1, y = 0, then
+; repeatedly x += y; y += 1 — prove x >= y is invariant.
+; Used by the CI trace smoke test and the trace-determinism test.
+(declare-fun p (Int Int) Bool)
+(assert (forall ((x Int) (y Int))
+    (=> (and (= x 1) (= y 0)) (p x y))))
+(assert (forall ((x Int) (y Int) (x1 Int) (y1 Int))
+    (=> (and (p x y) (= x1 (+ x y)) (= y1 (+ y 1))) (p x1 y1))))
+(assert (forall ((x Int) (y Int) (x1 Int) (y1 Int))
+    (=> (and (p x y) (= x1 (+ x y)) (= y1 (+ y 1))) (>= x1 y1))))
+(assert (forall ((x Int) (y Int))
+    (=> (and (= x 1) (= y 0)) (>= x y))))

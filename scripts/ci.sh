@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# Offline CI gate: build, test, perf smoke. No network access needed —
-# the workspace has no external dependencies and `--offline` makes
-# cargo fail loudly rather than silently reach for the index.
+# Offline CI gate: build, test, trace smoke, perf smoke. No network
+# access needed — the workspace has no external dependencies and
+# `--offline` makes cargo fail loudly rather than silently reach for
+# the index.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -11,10 +12,31 @@ cargo build --release --offline
 echo "== tests =="
 cargo test -q --offline --workspace
 
+echo "== trace smoke (structured JSONL trace of one benchmark) =="
+# Solve a benchmark with tracing on, then validate that the emitted
+# trace is non-empty, well-formed JSONL containing spans from every
+# instrumented layer and the final metrics report.
+trace_out="$(mktemp /tmp/linarb_trace.XXXXXX.jsonl)"
+cargo run --release --offline -p linarb --bin linarb -- \
+    --trace debug --trace-out "$trace_out" examples/fig1.smt2
+cargo run --release --offline -p linarb --bin linarb -- \
+    --check-jsonl "$trace_out"
+for target in core smt sat ml; do
+    grep -q "\"target\":\"$target\"" "$trace_out" \
+        || { echo "trace smoke: no events from '$target'" >&2; exit 1; }
+done
+grep -q '"kind":"metrics_report"' "$trace_out" \
+    || { echo "trace smoke: missing metrics report trailer" >&2; exit 1; }
+rm -f "$trace_out"
+
 echo "== perf smoke (incremental vs fresh oracle) =="
 # Writes BENCH_<n>.json into the repo root; see EXPERIMENTS.md for the
-# report schema. Keep the per-benchmark budget modest in CI.
+# report schema. Keep the per-benchmark budget modest in CI. When an
+# earlier report exists, the newest one doubles as the disabled-
+# overhead baseline: tracing off must not move the wall clock.
+baseline="$(ls -1 BENCH_*.json 2>/dev/null | sort -V | tail -n 1 || true)"
 LINARB_SMOKE_TIMEOUT_MS="${LINARB_SMOKE_TIMEOUT_MS:-30000}" \
+LINARB_SMOKE_BASELINE="${LINARB_SMOKE_BASELINE:-$baseline}" \
     cargo run --release --offline -p linarb-bench --bin perf_smoke
 
 echo "== ci ok =="

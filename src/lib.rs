@@ -54,3 +54,4 @@ pub use linarb_sat as sat;
 pub use linarb_smt as smt;
 pub use linarb_solver as solver;
 pub use linarb_suite as suite;
+pub use linarb_trace as trace;

@@ -1,0 +1,231 @@
+//! `linarb` — command-line front door to the data-driven CHC solver.
+//!
+//! Reads a CHC system from an SMT-LIB2 HORN file (`.smt2`) or a mini-C
+//! program (`.c`), runs the CEGAR solver, and prints `sat`, `unsat`,
+//! or `unknown`. Structured tracing and metrics from `linarb-trace`
+//! are exposed via `--trace`, `--trace-out`, and `--stats`.
+
+use linarb::ml::LearnConfig;
+use linarb::smt::Budget;
+use linarb::solver::{CegarSolver, OracleMode, SolveResult, SolverConfig};
+use linarb::trace::{self, Level};
+use std::process::ExitCode;
+use std::time::Duration;
+
+const USAGE: &str = "\
+usage: linarb [options] <file.smt2|file.c>
+
+options:
+  --trace <off|info|debug|trace>  stderr trace verbosity (default off;
+                                  env LINARB_TRACE)
+  --trace-out <path>              write the trace as JSONL to <path>
+                                  instead of stderr (env LINARB_TRACE_OUT)
+  --stats                         print the end-of-run metrics report
+                                  (counters, histograms, span timers) as
+                                  JSON on stdout
+  --oracle <incremental|fresh>    SMT oracle mode (default incremental)
+  --oracle-reset                  reset SAT decision heuristics between
+                                  incremental checks
+  --no-dt                         disable decision-tree generalization
+  --timeout-ms <n>                solve budget in milliseconds
+  --max-iterations <n>            CEGAR iteration cap
+  --check-jsonl <path>            validate that <path> is well-formed
+                                  JSONL and exit (used by CI)
+  --help                          this message
+
+exit status: 0 = sat/unsat decided, 2 = unknown, 1 = error";
+
+struct Cli {
+    file: Option<String>,
+    trace_level: Level,
+    trace_out: Option<String>,
+    stats: bool,
+    oracle: OracleMode,
+    oracle_reset: bool,
+    no_dt: bool,
+    timeout_ms: Option<u64>,
+    max_iterations: Option<usize>,
+    check_jsonl: Option<String>,
+}
+
+fn parse_args() -> Result<Cli, String> {
+    let mut cli = Cli {
+        file: None,
+        trace_level: Level::Off,
+        trace_out: None,
+        stats: false,
+        oracle: OracleMode::Incremental,
+        oracle_reset: false,
+        no_dt: false,
+        timeout_ms: None,
+        max_iterations: None,
+        check_jsonl: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--help" | "-h" => return Err(String::new()),
+            "--trace" => {
+                let v = value("--trace")?;
+                cli.trace_level = Level::parse(&v)
+                    .ok_or_else(|| format!("bad --trace level `{v}`"))?;
+            }
+            "--trace-out" => cli.trace_out = Some(value("--trace-out")?),
+            "--stats" => cli.stats = true,
+            "--oracle" => {
+                cli.oracle = match value("--oracle")?.as_str() {
+                    "incremental" => OracleMode::Incremental,
+                    "fresh" => OracleMode::Fresh,
+                    other => return Err(format!("bad --oracle mode `{other}`")),
+                };
+            }
+            "--oracle-reset" => cli.oracle_reset = true,
+            "--no-dt" => cli.no_dt = true,
+            "--timeout-ms" => {
+                cli.timeout_ms = Some(
+                    value("--timeout-ms")?
+                        .parse()
+                        .map_err(|_| "bad --timeout-ms value".to_string())?,
+                );
+            }
+            "--max-iterations" => {
+                cli.max_iterations = Some(
+                    value("--max-iterations")?
+                        .parse()
+                        .map_err(|_| "bad --max-iterations value".to_string())?,
+                );
+            }
+            "--check-jsonl" => cli.check_jsonl = Some(value("--check-jsonl")?),
+            other if other.starts_with('-') => {
+                return Err(format!("unknown option `{other}`"));
+            }
+            _ => {
+                if cli.file.replace(arg).is_some() {
+                    return Err("more than one input file".to_string());
+                }
+            }
+        }
+    }
+    Ok(cli)
+}
+
+fn load_system(path: &str) -> Result<linarb::logic::ChcSystem, String> {
+    let src = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {path}: {e}"))?;
+    if path.ends_with(".c") {
+        linarb::frontend::compile(&src).map_err(|e| format!("{path}: {e}"))
+    } else {
+        linarb::logic::parse_chc(&src).map_err(|e| format!("{path}: {e}"))
+    }
+}
+
+fn main() -> ExitCode {
+    let cli = match parse_args() {
+        Ok(cli) => cli,
+        Err(msg) => {
+            if msg.is_empty() {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("linarb: {msg}");
+            eprintln!("{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // CI helper: validate a JSONL trace without solving anything.
+    if let Some(path) = &cli.check_jsonl {
+        return match std::fs::read_to_string(path) {
+            Err(e) => {
+                eprintln!("linarb: cannot read {path}: {e}");
+                ExitCode::FAILURE
+            }
+            Ok(text) => match trace::json::validate_jsonl(&text) {
+                Ok(0) => {
+                    eprintln!("linarb: {path}: empty JSONL document");
+                    ExitCode::FAILURE
+                }
+                Ok(n) => {
+                    println!("{path}: {n} valid JSONL records");
+                    ExitCode::SUCCESS
+                }
+                Err((line, e)) => {
+                    eprintln!("linarb: {path}:{line}: {e}");
+                    ExitCode::FAILURE
+                }
+            },
+        };
+    }
+
+    let Some(file) = &cli.file else {
+        eprintln!("linarb: no input file");
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+
+    // CLI flags take precedence; fall back to LINARB_TRACE[_OUT].
+    let level = if cli.trace_level != Level::Off || cli.trace_out.is_some() {
+        trace::install_cli_sink(cli.trace_level, cli.trace_out.as_deref())
+    } else {
+        trace::init_from_env()
+    };
+    // Metrics feed --stats and the JSONL metrics trailer.
+    let collect_metrics = cli.stats || level != Level::Off;
+    if collect_metrics {
+        trace::metrics::enable(true);
+    }
+
+    let sys = match load_system(file) {
+        Ok(sys) => sys,
+        Err(msg) => {
+            eprintln!("linarb: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut learn = LearnConfig::default();
+    if cli.no_dt {
+        learn.use_decision_tree = false;
+    }
+    let mut config = SolverConfig::with_learn_config(learn)
+        .with_oracle(cli.oracle)
+        .with_oracle_reset(cli.oracle_reset);
+    if let Some(n) = cli.max_iterations {
+        config.max_iterations = n;
+    }
+    let budget = match cli.timeout_ms {
+        Some(ms) => Budget::timeout(Duration::from_millis(ms)),
+        None => Budget::unlimited(),
+    };
+
+    let start = std::time::Instant::now();
+    let mut solver = CegarSolver::new(&sys, config);
+    let result = solver.solve(&budget);
+    let wall = start.elapsed();
+
+    let (verdict, code) = match &result {
+        SolveResult::Sat(_) => ("sat", ExitCode::SUCCESS),
+        SolveResult::Unsat(_) => ("unsat", ExitCode::SUCCESS),
+        SolveResult::Unknown(_) => ("unknown", ExitCode::from(2)),
+    };
+    println!("{verdict}");
+    if let SolveResult::Unknown(reason) = &result {
+        eprintln!("linarb: unknown: {reason:?}");
+    }
+
+    if collect_metrics {
+        let mut report = trace::metrics::take_report();
+        solver.stats().export_into(&mut report);
+        report.set_counter("cli.wall_us", wall.as_micros() as u64);
+        trace::emit_metrics(&report);
+        if cli.stats {
+            println!("{}", report.to_json());
+        }
+    }
+    // Dropping the global sink flushes the JSONL file.
+    trace::clear_global_sink();
+    code
+}

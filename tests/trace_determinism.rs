@@ -1,0 +1,81 @@
+//! Trace determinism: two runs of the same benchmark under the same
+//! configuration must emit identical event sequences once timestamps
+//! are stripped. The solver is deterministic (no randomness, no
+//! iteration over hash maps in observable order), so the trace — which
+//! reflects every oracle call, refinement, and learner invocation —
+//! must be too. A diff here means either the solver or the tracing
+//! layer picked up hidden nondeterminism.
+
+use linarb::logic::parse_chc;
+use linarb::smt::Budget;
+use linarb::solver::{CegarSolver, SolveResult, SolverConfig};
+use linarb::trace::{CollectingSink, Event, Level, LocalSinkGuard};
+
+fn traced_run(src: &str) -> (Vec<Event>, &'static str) {
+    let sink = CollectingSink::new();
+    let guard = LocalSinkGuard::install(Box::new(sink.clone()), Level::Debug);
+    let sys = parse_chc(src).expect("benchmark parses");
+    let mut solver = CegarSolver::new(&sys, SolverConfig::default());
+    let verdict = match solver.solve(&Budget::unlimited()) {
+        SolveResult::Sat(_) => "sat",
+        SolveResult::Unsat(_) => "unsat",
+        SolveResult::Unknown(_) => "unknown",
+    };
+    drop(guard);
+    (sink.take(), verdict)
+}
+
+#[test]
+fn identical_runs_emit_identical_traces() {
+    let src = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/examples/fig1.smt2"
+    ))
+    .expect("example benchmark present");
+
+    let (events1, verdict1) = traced_run(&src);
+    let (events2, verdict2) = traced_run(&src);
+
+    assert_eq!(verdict1, "sat", "Fig. 1 must verify");
+    assert_eq!(verdict1, verdict2);
+    assert!(!events1.is_empty(), "a Debug-level solve must trace");
+
+    let keys = |evs: &[Event]| -> Vec<String> {
+        evs.iter().map(Event::deterministic_key).collect()
+    };
+    let (k1, k2) = (keys(&events1), keys(&events2));
+    if k1 != k2 {
+        // Locate the first divergence for a readable failure.
+        let n = k1.len().min(k2.len());
+        for i in 0..n {
+            assert_eq!(k1[i], k2[i], "traces diverge at event {i}");
+        }
+        panic!(
+            "traces have different lengths: {} vs {} events",
+            k1.len(),
+            k2.len()
+        );
+    }
+}
+
+#[test]
+fn trace_covers_all_layers() {
+    let src = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/examples/fig1.smt2"
+    ))
+    .expect("example benchmark present");
+    let sink = CollectingSink::new();
+    let guard = LocalSinkGuard::install(Box::new(sink.clone()), Level::Trace);
+    let sys = parse_chc(&src).unwrap();
+    let mut solver = CegarSolver::new(&sys, SolverConfig::default());
+    assert!(solver.solve(&Budget::unlimited()).is_sat());
+    drop(guard);
+    let events = sink.take();
+    for target in ["core", "smt", "sat", "ml"] {
+        assert!(
+            events.iter().any(|e| e.target == target),
+            "no events from `{target}` in a full solve"
+        );
+    }
+}
