@@ -8,6 +8,13 @@
 //! (one mode timing out where the other solves is a perf difference,
 //! not a soundness one).
 //!
+//! The run then sweeps parallel clause checking across 1/2/4/8 worker
+//! threads on the multi-clause subset. Cross-thread-count determinism
+//! (identical verdicts and trajectory statistics) is asserted hard;
+//! the 4-thread speedup is recorded in the report's `parallel` section
+//! and only warned about when below 1.3x, since it is bounded by the
+//! machine's physical core count.
+//!
 //! Knobs: `LINARB_SMOKE_TIMEOUT_MS` (per-benchmark budget, default
 //! 60000) and `LINARB_SMOKE_OUT_DIR` (report directory, default `.`).
 //! When `LINARB_SMOKE_BASELINE` names an earlier `BENCH_<n>.json`, the
@@ -85,6 +92,70 @@ fn run_mode(mode: OracleMode, suite: &[linarb_suite::Benchmark], timeout: Durati
     run.learner_s = report.timer_secs("core.learner");
     run.sample_extraction_s = report.timer_secs("core.sample_extraction");
     run
+}
+
+struct ThreadRun {
+    threads: usize,
+    wall: Duration,
+    verdicts: Vec<&'static str>,
+    iterations: usize,
+    samples: usize,
+    smt_checks: usize,
+    parallel_batches: usize,
+    par_checks: usize,
+    par_discarded: usize,
+    steals: u64,
+}
+
+fn run_thread_sweep(
+    threads: usize,
+    suite: &[&linarb_suite::Benchmark],
+    timeout: Duration,
+) -> ThreadRun {
+    let mut tr = ThreadRun {
+        threads,
+        wall: Duration::ZERO,
+        verdicts: Vec::new(),
+        iterations: 0,
+        samples: 0,
+        smt_checks: 0,
+        parallel_batches: 0,
+        par_checks: 0,
+        par_discarded: 0,
+        steals: 0,
+    };
+    for b in suite {
+        let config = SolverConfig::default()
+            .with_oracle(OracleMode::Incremental)
+            .with_threads(threads);
+        let mut solver = CegarSolver::new(&b.system, config);
+        let start = Instant::now();
+        let verdict = match solver.solve(&Budget::timeout(timeout)) {
+            SolveResult::Sat(_) => "sat",
+            SolveResult::Unsat(_) => "unsat",
+            SolveResult::Unknown(_) => "unknown",
+        };
+        tr.wall += start.elapsed();
+        let stats = solver.stats();
+        tr.verdicts.push(verdict);
+        tr.iterations += stats.iterations;
+        tr.samples += stats.samples;
+        tr.smt_checks += stats.smt_checks;
+        tr.parallel_batches += stats.parallel_batches;
+        tr.par_checks += stats.par_checks;
+        tr.par_discarded += stats.par_discarded;
+        tr.steals += stats.steal_count;
+    }
+    eprintln!(
+        "  threads {}: {:>9.3}s  batches {:4}  prechecks {:4} ({} discarded)  steals {}",
+        threads,
+        tr.wall.as_secs_f64(),
+        tr.parallel_batches,
+        tr.par_checks,
+        tr.par_discarded,
+        tr.steals,
+    );
+    tr
 }
 
 /// First unused `BENCH_<n>.json` slot in `dir`.
@@ -172,6 +243,63 @@ fn main() {
         );
     }
 
+    // Parallel clause checking sweep: the multi-clause instances the
+    // incremental oracle solves, re-run at 1/2/4/8 worker threads.
+    // Verdicts and trajectory statistics must be identical at every
+    // thread count — that is the determinism contract, asserted hard
+    // below. Speedup is reported but only warned about: it depends on
+    // how many physical cores the machine has.
+    let par_suite: Vec<&linarb_suite::Benchmark> = suite
+        .iter()
+        .enumerate()
+        .filter(|(i, b)| inc.verdicts[*i] != "unknown" && b.system.clauses().len() >= 3)
+        .map(|(_, b)| b)
+        .collect();
+    eprintln!("== thread sweep ({} benchmarks) ==", par_suite.len());
+    let thread_runs: Vec<ThreadRun> = [1usize, 2, 4, 8]
+        .iter()
+        .map(|&t| run_thread_sweep(t, &par_suite, timeout))
+        .collect();
+    let base = &thread_runs[0];
+    let mut deterministic = true;
+    for tr in &thread_runs[1..] {
+        for (i, b) in par_suite.iter().enumerate() {
+            let (v1, vk) = (base.verdicts[i], tr.verdicts[i]);
+            assert!(
+                v1 == vk || v1 == "unknown" || vk == "unknown",
+                "thread counts contradict on {}: 1t={v1} {}t={vk}",
+                b.name,
+                tr.threads
+            );
+            if v1 == "unknown" || vk == "unknown" {
+                // A budget trip is wall-clock-dependent, so a timed-out
+                // run has no deterministic trajectory to compare.
+                deterministic = false;
+            }
+        }
+        if base.verdicts.iter().chain(&tr.verdicts).all(|v| *v != "unknown") {
+            assert_eq!(
+                (base.iterations, base.samples, base.smt_checks),
+                (tr.iterations, tr.samples, tr.smt_checks),
+                "trajectory diverged between 1 and {} threads",
+                tr.threads
+            );
+        }
+    }
+    let wall_4t = thread_runs
+        .iter()
+        .find(|t| t.threads == 4)
+        .map(|t| t.wall.as_secs_f64())
+        .unwrap_or(f64::INFINITY);
+    let speedup_4t = base.wall.as_secs_f64() / wall_4t.max(1e-9);
+    if speedup_4t < 1.3 {
+        eprintln!(
+            "warning: 4-thread speedup {speedup_4t:.2}x is below the 1.3x target \
+             (expected on machines with few physical cores; \
+             cross-thread determinism is asserted regardless)"
+        );
+    }
+
     let fresh_full = fresh.smt_checks - fresh.smt_checks_skipped;
     let inc_full = inc.smt_checks - inc.smt_checks_skipped;
     let speedup = fresh.wall.as_secs_f64() / inc.wall.as_secs_f64().max(1e-9);
@@ -227,7 +355,31 @@ fn main() {
     writeln!(json, "  \"incremental_solved\": {inc_solved},").unwrap();
     writeln!(json, "  \"speedup\": {speedup:.3},").unwrap();
     writeln!(json, "  \"solved_subset_speedup\": {solved_speedup:.3},").unwrap();
-    writeln!(json, "  \"full_check_reduction\": {check_reduction:.3}").unwrap();
+    writeln!(json, "  \"full_check_reduction\": {check_reduction:.3},").unwrap();
+    writeln!(json, "  \"parallel\": {{").unwrap();
+    let names: Vec<String> =
+        par_suite.iter().map(|b| format!("\"{}\"", b.name)).collect();
+    writeln!(json, "    \"suite\": [{}],", names.join(", ")).unwrap();
+    writeln!(json, "    \"runs\": [").unwrap();
+    for (i, tr) in thread_runs.iter().enumerate() {
+        writeln!(
+            json,
+            "      {{\"threads\": {}, \"wall_s\": {:.3}, \"parallel_batches\": {}, \
+             \"par_checks\": {}, \"par_discarded\": {}, \"steals\": {}}}{}",
+            tr.threads,
+            tr.wall.as_secs_f64(),
+            tr.parallel_batches,
+            tr.par_checks,
+            tr.par_discarded,
+            tr.steals,
+            if i + 1 < thread_runs.len() { "," } else { "" }
+        )
+        .unwrap();
+    }
+    writeln!(json, "    ],").unwrap();
+    writeln!(json, "    \"deterministic\": {deterministic},").unwrap();
+    writeln!(json, "    \"speedup_4t\": {speedup_4t:.3}").unwrap();
+    writeln!(json, "  }}").unwrap();
     writeln!(json, "}}").unwrap();
 
     // Disabled-overhead guard: with no sinks installed, the tracing

@@ -1,0 +1,194 @@
+//! Differential test for parallel clause checking.
+//!
+//! Running the CEGAR solver with `threads = 4` must be observationally
+//! identical to `threads = 1` in BOTH oracle modes: same verdict, same
+//! interpretation (for sat instances), same trajectory statistics, and
+//! the same structured trace event sequence modulo timestamps and
+//! thread ids. The speculative pre-check design makes this hold by
+//! construction — workers only precompute checks the sequential merge
+//! loop would issue anyway, discarding anything invalidated by an
+//! interpretation change — and this test pins that contract from the
+//! outside, through the public API.
+//!
+//! Timestamp/thread-id insensitivity is inherited from
+//! [`Event::deterministic_key`], which excludes `t_us`, `dur_us`, and
+//! `thread` by design.
+
+use linarb_smt::Budget;
+use linarb_solver::{CegarSolver, OracleMode, SolveResult, SolverConfig};
+use linarb_suite::Benchmark;
+use linarb_trace::{CollectingSink, Level, LocalSinkGuard};
+use std::time::Duration;
+
+fn budget() -> Budget {
+    Budget::timeout(Duration::from_secs(120))
+}
+
+/// Fast-converging instances covering sat and unsat outcomes, linear
+/// loops, recursion, and multi-predicate systems. `program_a` is
+/// deliberately absent: it dominates debug-profile wall time (minutes
+/// per run) and its cross-thread-count identity is already asserted in
+/// the core crate's test suite.
+fn suite() -> Vec<Benchmark> {
+    vec![
+        linarb_suite::fig1(),
+        linarb_suite::program_c_fibo(),
+        linarb_suite::fibo_unsafe(),
+        linarb_suite::even_odd(),
+        linarb_suite::half_counter(),
+        linarb_suite::cggmp2005(),
+    ]
+}
+
+/// Everything observable from one solve: the verdict classification,
+/// the sat interpretation / unsat derivation shape, the trajectory
+/// statistics, and the deterministic trace key sequence.
+struct Observation {
+    verdict: &'static str,
+    interpretation: Option<String>,
+    tree_shape: Option<(usize, usize)>,
+    iterations: usize,
+    smt_checks: usize,
+    smt_checks_skipped: usize,
+    samples: usize,
+    learn_calls: usize,
+    trace_keys: Vec<String>,
+    parallel_batches: usize,
+}
+
+fn observe(bench: &Benchmark, mode: OracleMode, threads: usize) -> Observation {
+    let sink = CollectingSink::new();
+    let events = {
+        // Capture at Debug so per-check oracle events (the part the
+        // parallel path replays from workers) are in scope.
+        let _guard =
+            LocalSinkGuard::install(Box::new(sink.clone()), Level::Debug);
+        let config = SolverConfig::default()
+            .with_oracle(mode)
+            .with_threads(threads);
+        let mut solver = CegarSolver::new(&bench.system, config);
+        let result = solver.solve(&budget());
+        let stats = solver.stats().clone();
+        (result, stats)
+    };
+    let (result, stats) = events;
+    let (verdict, interpretation, tree_shape) = match &result {
+        SolveResult::Sat(interp) => {
+            ("sat", Some(format!("{interp:?}")), None)
+        }
+        SolveResult::Unsat(tree) => {
+            ("unsat", None, Some((tree.size(), tree.depth())))
+        }
+        SolveResult::Unknown(_) => ("unknown", None, None),
+    };
+    Observation {
+        verdict,
+        interpretation,
+        tree_shape,
+        iterations: stats.iterations,
+        smt_checks: stats.smt_checks,
+        smt_checks_skipped: stats.smt_checks_skipped,
+        samples: stats.samples,
+        learn_calls: stats.learn_calls,
+        trace_keys: sink
+            .take()
+            .iter()
+            .map(|e| e.deterministic_key())
+            .collect(),
+        parallel_batches: stats.parallel_batches,
+    }
+}
+
+fn assert_identical(bench: &Benchmark, mode: OracleMode) {
+    let base = observe(bench, mode, 1);
+    assert_ne!(
+        base.verdict, "unknown",
+        "{} [{mode:?}]: baseline did not converge",
+        bench.name
+    );
+    assert_eq!(
+        base.parallel_batches, 0,
+        "{} [{mode:?}]: single-threaded run must not speculate",
+        bench.name
+    );
+    let par = observe(bench, mode, 4);
+
+    assert_eq!(
+        base.verdict, par.verdict,
+        "{} [{mode:?}]: verdict differs across thread counts",
+        bench.name
+    );
+    assert_eq!(
+        base.interpretation, par.interpretation,
+        "{} [{mode:?}]: interpretation differs across thread counts",
+        bench.name
+    );
+    assert_eq!(
+        base.tree_shape, par.tree_shape,
+        "{} [{mode:?}]: derivation tree differs across thread counts",
+        bench.name
+    );
+    assert_eq!(
+        (
+            base.iterations,
+            base.smt_checks,
+            base.smt_checks_skipped,
+            base.samples,
+            base.learn_calls,
+        ),
+        (
+            par.iterations,
+            par.smt_checks,
+            par.smt_checks_skipped,
+            par.samples,
+            par.learn_calls,
+        ),
+        "{} [{mode:?}]: trajectory statistics differ across thread counts",
+        bench.name
+    );
+    assert_eq!(
+        base.trace_keys.len(),
+        par.trace_keys.len(),
+        "{} [{mode:?}]: trace event counts differ across thread counts",
+        bench.name
+    );
+    for (i, (b, p)) in
+        base.trace_keys.iter().zip(&par.trace_keys).enumerate()
+    {
+        assert_eq!(
+            b, p,
+            "{} [{mode:?}]: trace diverges at event {i} of {}",
+            bench.name,
+            base.trace_keys.len()
+        );
+    }
+}
+
+#[test]
+fn four_threads_match_one_thread_incremental() {
+    for bench in suite() {
+        assert_identical(&bench, OracleMode::Incremental);
+    }
+}
+
+#[test]
+fn four_threads_match_one_thread_fresh() {
+    for bench in suite() {
+        assert_identical(&bench, OracleMode::Fresh);
+    }
+}
+
+/// The parallel machinery must actually engage on at least part of the
+/// suite — a determinism test that silently never speculates would
+/// prove nothing about the merge logic.
+#[test]
+fn parallel_path_exercised_on_suite() {
+    let engaged: usize = suite()
+        .iter()
+        .map(|b| observe(b, OracleMode::Incremental, 4).parallel_batches)
+        .sum();
+    assert!(
+        engaged > 0,
+        "no benchmark ever formed a multi-clause frontier at 4 threads"
+    );
+}

@@ -52,8 +52,9 @@ use linarb_logic::{
     ChcSystem, Clause, ClauseHead, ClauseId, Formula, Interpretation, Model, PredId, Var,
 };
 use linarb_ml::{learn, Dataset, LearnConfig, LearnError, Sample};
+use linarb_pool::Pool;
 use linarb_smt::{check_sat, Budget, IncrementalSolver, Lit, SmtResult};
-use linarb_trace::{event, Level, MetricsReport};
+use linarb_trace::{event, CollectingSink, Event, Level, LocalSinkGuard, MetricsReport};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::fmt;
 use std::sync::Arc;
@@ -136,6 +137,23 @@ pub struct SolverConfig {
     /// oracle cannot (jm2006, hhk2008) at the cost of diverging on
     /// others. See DESIGN.md §8.
     pub oracle_reset: bool,
+    /// Worker threads for parallel clause checking. Defaults to the
+    /// `LINARB_THREADS` environment variable (when set to an integer
+    /// ≥ 1), else 1 — fully sequential. Any thread count produces
+    /// bit-identical results: each round's dirty-clause frontier is
+    /// pre-checked in parallel against the round-start interpretation
+    /// and the outcomes are merged in deterministic frontier order
+    /// (see DESIGN.md §10).
+    pub threads: usize,
+}
+
+/// The `LINARB_THREADS` default for [`SolverConfig::threads`].
+fn threads_from_env() -> usize {
+    std::env::var("LINARB_THREADS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(1)
 }
 
 impl SolverConfig {
@@ -146,6 +164,7 @@ impl SolverConfig {
             max_iterations: 20_000,
             oracle: OracleMode::default(),
             oracle_reset: false,
+            threads: threads_from_env(),
         }
     }
 
@@ -156,6 +175,7 @@ impl SolverConfig {
             max_iterations: 20_000,
             oracle: OracleMode::default(),
             oracle_reset: false,
+            threads: threads_from_env(),
         }
     }
 
@@ -171,6 +191,12 @@ impl SolverConfig {
         self.oracle_reset = reset;
         self
     }
+
+    /// Sets the worker-thread count (0 is promoted to 1).
+    pub fn with_threads(mut self, threads: usize) -> SolverConfig {
+        self.threads = threads.max(1);
+        self
+    }
 }
 
 impl Default for SolverConfig {
@@ -183,11 +209,12 @@ impl fmt::Debug for SolverConfig {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "SolverConfig {{ learner: {}, max_iterations: {}, oracle: {:?}, oracle_reset: {} }}",
+            "SolverConfig {{ learner: {}, max_iterations: {}, oracle: {:?}, oracle_reset: {}, threads: {} }}",
             self.learner.name(),
             self.max_iterations,
             self.oracle,
-            self.oracle_reset
+            self.oracle_reset,
+            self.threads
         )
     }
 }
@@ -325,6 +352,22 @@ pub struct SolveStats {
     pub positive_samples: usize,
     /// Learner invocations.
     pub learn_calls: usize,
+    /// Rounds whose dirty-clause frontier was speculatively
+    /// pre-checked by the pool. Parallelism diagnostic: 0 at 1 thread
+    /// (speculation is skipped without parallelism), so — like
+    /// `par_checks`, `par_discarded`, and `steal_count` — it is
+    /// excluded from cross-thread-count determinism comparisons. All
+    /// other statistics are identical at every thread count.
+    pub parallel_batches: usize,
+    /// Speculative pre-checks issued to the pool.
+    pub par_checks: usize,
+    /// Speculative pre-checks discarded at merge time because the
+    /// interpretation had moved since their snapshot (their oracle
+    /// state was rewound; the work shows up only in wall-clock).
+    pub par_discarded: usize,
+    /// Tasks stolen across pool workers (varies run to run even at a
+    /// fixed thread count).
+    pub steal_count: u64,
 }
 
 impl SolveStats {
@@ -339,6 +382,10 @@ impl SolveStats {
         report.set_counter("core.samples", self.samples as u64);
         report.set_counter("core.positive_samples", self.positive_samples as u64);
         report.set_counter("core.learn_calls", self.learn_calls as u64);
+        report.set_counter("core.parallel_batches", self.parallel_batches as u64);
+        report.set_counter("core.par_checks", self.par_checks as u64);
+        report.set_counter("core.par_discarded", self.par_discarded as u64);
+        report.set_counter("core.steal_count", self.steal_count);
     }
 
     /// The statistics as a standalone JSON report.
@@ -358,6 +405,7 @@ impl SolveStats {
 /// under an activation literal and cached here by structural equality;
 /// re-checking the clause under a partially-changed interpretation
 /// re-assumes cached guards and encodes only the genuinely new pieces.
+#[derive(Clone)]
 struct ClauseContext {
     solver: IncrementalSolver,
     guards: HashMap<Formula, Lit>,
@@ -379,6 +427,156 @@ impl ClauseContext {
     }
 }
 
+/// Statistics accumulated by one oracle check, kept separate from
+/// [`SolveStats`] so checks can run on worker threads and be folded
+/// into the solver's totals at merge time (in frontier order).
+#[derive(Debug, Default)]
+struct CheckDelta {
+    smt_checks: usize,
+    smt_checks_skipped: usize,
+    ctx_reuse_hits: usize,
+}
+
+/// Everything a speculative pre-check task sends back to the merge
+/// loop. Nothing in here has touched solver state yet: the merge loop
+/// either consumes the whole package (result, mutated context,
+/// statistics, trace events, metrics) in place of the live check it
+/// replaces, or discards everything and restores the backup.
+struct Precheck {
+    /// The clause's persistent context as the check left it (installed
+    /// when the speculation is consumed).
+    ctx: Option<ClauseContext>,
+    /// The context as it was *before* the check (restored when the
+    /// speculation is discarded — the serial path never ran this
+    /// check, so its state mutations must not survive).
+    backup: Option<ClauseContext>,
+    result: SmtResult,
+    delta: CheckDelta,
+    /// Trace events collected on the worker, replayed if consumed.
+    events: Vec<Event>,
+    /// Metrics collected on the worker, absorbed if consumed.
+    report: Option<MetricsReport>,
+    worker: u64,
+}
+
+/// Whether `clause` mentions (in body or head) any predicate in
+/// `preds` — i.e. whether its validity could depend on those
+/// interpretations.
+fn mentions_any(clause: &Clause, preds: &HashSet<PredId>) -> bool {
+    if preds.is_empty() {
+        return false;
+    }
+    clause.body_preds.iter().any(|a| preds.contains(&a.pred))
+        || matches!(&clause.head, ClauseHead::Pred(a) if preds.contains(&a.pred))
+}
+
+/// One SMT validity check of `clause` under `interp`. Everything it
+/// touches is passed in — no `&mut CegarSolver` — so it can run on a
+/// pool worker; the clause's persistent context (if any) travels
+/// through `ctx_slot`.
+#[allow(clippy::too_many_arguments)]
+fn oracle_check(
+    sys: &ChcSystem,
+    interp: &Interpretation,
+    clause: &Clause,
+    mode: OracleMode,
+    reset_decisions: bool,
+    ctx_slot: &mut Option<ClauseContext>,
+    budget: &Budget,
+    delta: &mut CheckDelta,
+) -> SmtResult {
+    // The span covers skipped/cached answers too: "core.oracle" in
+    // the metrics report is the loop's total oracle-side time.
+    let mut span = linarb_trace::span(Level::Debug, "core", "core.oracle");
+    delta.smt_checks += 1;
+    let result = match mode {
+        OracleMode::Fresh => check_sat(&sys.validity_check(clause, interp), budget),
+        OracleMode::Incremental => {
+            oracle_check_incremental(sys, interp, clause, reset_decisions, ctx_slot, budget, delta)
+        }
+    };
+    if span.active() {
+        span.record("clause", clause.id.0);
+        span.record("result", result.label());
+    }
+    result
+}
+
+fn oracle_check_incremental(
+    sys: &ChcSystem,
+    interp: &Interpretation,
+    clause: &Clause,
+    reset_decisions: bool,
+    ctx_slot: &mut Option<ClauseContext>,
+    budget: &Budget,
+    delta: &mut CheckDelta,
+) -> SmtResult {
+    // An unconstrained head (`true`) cannot be violated: the check
+    // formula contains the conjunct ¬true.
+    if let ClauseHead::Pred(app) = &clause.head {
+        if !interp.contains_key(&app.pred) {
+            delta.smt_checks_skipped += 1;
+            return SmtResult::Unsat;
+        }
+    }
+    let ctx = ctx_slot.get_or_insert_with(|| ClauseContext::new(clause, reset_decisions));
+    // Countermodel reuse: if the previous countermodel still
+    // violates the clause under the *current* interpretation, it is
+    // a valid answer and the oracle run is skipped. Two guards keep
+    // the fast path from degrading sample quality: the model must
+    // assign every variable of the current check (an under-
+    // specified model would be zero-completed by `eval`, yielding
+    // degenerate samples), and a cached model is served at most
+    // once — `take()` clears it — so refinement never pins on one
+    // stale point for many rounds.
+    if let Some(m) = ctx.last_countermodel.take() {
+        let chk = sys.validity_check(clause, interp);
+        if chk.vars().iter().all(|v| m.get(*v).is_some()) && chk.eval(&m) {
+            delta.smt_checks_skipped += 1;
+            return SmtResult::Sat(m);
+        }
+    }
+    // Assemble the interpretation-dependent pieces and their
+    // activation literals, encoding only pieces this context has
+    // never seen.
+    let mut active: Vec<Lit> = Vec::new();
+    let mut add_piece = |piece: Formula, ctx: &mut ClauseContext, hits: &mut usize| {
+        if matches!(piece, Formula::True) {
+            return;
+        }
+        match ctx.guards.get(&piece) {
+            Some(&g) => {
+                *hits += 1;
+                active.push(g);
+            }
+            None => {
+                let g = ctx.solver.push_guarded(&piece);
+                ctx.guards.insert(piece, g);
+                active.push(g);
+            }
+        }
+    };
+    for app in &clause.body_preds {
+        let f = ChcSystem::interp_of(interp, app.pred);
+        let piece = app.instantiate(f, &sys.pred(app.pred).params);
+        add_piece(piece, ctx, &mut delta.ctx_reuse_hits);
+    }
+    if let ClauseHead::Pred(app) = &clause.head {
+        let f = ChcSystem::interp_of(interp, app.pred);
+        let piece = Formula::not(app.instantiate(f, &sys.pred(app.pred).params));
+        add_piece(piece, ctx, &mut delta.ctx_reuse_hits);
+    }
+    let result = ctx.solver.check(&active, budget);
+    if let SmtResult::Sat(m) = &result {
+        debug_assert!(
+            sys.validity_check(clause, interp).eval(m),
+            "incremental oracle must return genuine countermodels"
+        );
+        ctx.last_countermodel = Some(m.clone());
+    }
+    result
+}
+
 /// The data-driven CHC solver.
 pub struct CegarSolver<'a> {
     sys: &'a ChcSystem,
@@ -389,7 +587,11 @@ pub struct CegarSolver<'a> {
     /// body samples it consumed, and the witnessing model.
     justif: HashMap<(PredId, Sample), (ClauseId, Vec<(PredId, Sample)>, Model)>,
     /// Persistent per-clause oracle contexts ([`OracleMode::Incremental`]).
+    /// During a batch pre-check each frontier clause's context moves
+    /// into its worker task and back; between rounds they all live
+    /// here.
     contexts: HashMap<ClauseId, ClauseContext>,
+    pool: Pool,
     stats: SolveStats,
 }
 
@@ -401,6 +603,7 @@ impl<'a> CegarSolver<'a> {
             .iter()
             .map(|p| (p.id, Dataset::new(p.arity())))
             .collect();
+        let pool = Pool::new(config.threads.max(1));
         CegarSolver {
             sys,
             config,
@@ -408,6 +611,7 @@ impl<'a> CegarSolver<'a> {
             data,
             justif: HashMap::new(),
             contexts: HashMap::new(),
+            pool,
             stats: SolveStats::default(),
         }
     }
@@ -444,61 +648,131 @@ impl<'a> CegarSolver<'a> {
 
     fn solve_inner(&mut self, budget: &Budget) -> SolveResult {
         // Dirty-set scheduling: a clause needs (re)checking iff the
-        // interpretation of a predicate it mentions changed.
+        // interpretation of a predicate it mentions changed. Work
+        // proceeds in rounds: each round snapshots the dirty queue in
+        // FIFO dirtying order — the order the merges enqueued clauses
+        // in, which preserves the paper's propagation preference
+        // (consumers of a weakened head before the clause that
+        // weakened it) — pre-checks every frontier clause against the
+        // round-start interpretation (in parallel when the pool and
+        // frontier allow it), and then merges the outcomes
+        // sequentially in that same order.
+        //
+        // The merge loop replays the *sequential* algorithm exactly: a
+        // pre-check seed is consumed only when none of the clause's
+        // predicates changed interpretation since round start — then
+        // the seed (result and mutated oracle context alike) is
+        // byte-identical to the live check the serial loop would run —
+        // and discarded otherwise, restoring the context snapshot the
+        // worker took before checking. The refinement trajectory is
+        // therefore not merely deterministic per thread count: it is
+        // the same trajectory at every thread count, parallelism only
+        // changes which checks come precomputed.
         let mut dirty: VecDeque<ClauseId> =
             self.sys.clauses().iter().map(|c| c.id).collect();
         let mut dirty_set: HashSet<ClauseId> = dirty.iter().copied().collect();
 
-        while let Some(cid) = dirty.pop_front() {
-            dirty_set.remove(&cid);
+        while !dirty.is_empty() {
             if budget.exhausted() {
                 self.finalize_stats();
                 return SolveResult::Unknown(UnknownReason::Timeout);
             }
-            let clause = self.sys.clause(cid);
-            // Inner loop: resolve this clause until valid.
-            loop {
-                self.stats.iterations += 1;
-                event!(Level::Debug, "core", "cegar.iteration",
-                    "n" => self.stats.iterations, "clause" => clause.id.0);
-                if self.stats.iterations > self.config.max_iterations {
-                    self.finalize_stats();
-                    return SolveResult::Unknown(UnknownReason::IterationLimit);
-                }
-                if budget.exhausted() {
-                    self.finalize_stats();
-                    return SolveResult::Unknown(UnknownReason::Timeout);
-                }
-                let model = match self.check_clause(clause, budget) {
-                    SmtResult::Unsat => break, // clause valid
-                    SmtResult::Unknown => {
-                        self.finalize_stats();
-                        return SolveResult::Unknown(UnknownReason::SmtUnknown);
-                    }
-                    SmtResult::Sat(m) => m,
-                };
-                match self.resolve(clause, model) {
-                    Resolution::HeadWeakened(h) => {
-                        // Re-enqueue clauses mentioning h; prefer the
-                        // clauses that consume h in the body (the
-                        // paper's propagation order) by pushing this
-                        // clause last.
-                        self.mark_dirty(h, &mut dirty, &mut dirty_set);
-                        if dirty_set.insert(cid) {
-                            dirty.push_back(cid);
+            let frontier: Vec<ClauseId> = dirty.drain(..).collect();
+            // Note: `dirty_set` keeps the frontier clauses until each
+            // one's merge turn, so mid-round dirtying of a clause that
+            // is still pending this round stays a no-op — exactly the
+            // sequential queue's dedup behaviour.
+            let seeds = self.precheck_frontier(&frontier, budget);
+            // Predicates whose interpretation changed since the
+            // round-start snapshot the pre-checks ran against.
+            let mut changed_round: HashSet<PredId> = HashSet::new();
+            for (&cid, seed) in frontier.iter().zip(seeds) {
+                dirty_set.remove(&cid);
+                let clause = self.sys.clause(cid);
+                // Decide the speculation's fate up front: a seed is
+                // consumable iff no predicate this clause mentions
+                // changed since the pre-check's snapshot — then result
+                // and context state are byte-identical to the live
+                // check below. Otherwise rewind to the snapshot.
+                let mut speculation: Option<Precheck> = None;
+                if let Some(mut s) = seed {
+                    if mentions_any(clause, &changed_round) {
+                        self.stats.par_discarded += 1;
+                        if let Some(ctx) = s.backup {
+                            self.contexts.insert(cid, ctx);
                         }
-                        break;
-                    }
-                    Resolution::BodyStrengthened(changed) => {
-                        for p in changed {
-                            self.mark_dirty(p, &mut dirty, &mut dirty_set);
+                    } else {
+                        if let Some(ctx) = s.ctx.take() {
+                            self.contexts.insert(cid, ctx);
                         }
-                        // keep refining this same clause (inner loop)
+                        speculation = Some(s);
                     }
-                    Resolution::Refuted(tree) => return SolveResult::Unsat(tree),
-                    Resolution::Failed(reason) => {
+                }
+                // Inner loop: resolve this clause until valid.
+                loop {
+                    self.stats.iterations += 1;
+                    event!(Level::Debug, "core", "cegar.iteration",
+                        "n" => self.stats.iterations, "clause" => clause.id.0);
+                    if self.stats.iterations > self.config.max_iterations {
                         self.finalize_stats();
-                        return SolveResult::Unknown(reason);
+                        return SolveResult::Unknown(UnknownReason::IterationLimit);
+                    }
+                    if budget.exhausted() {
+                        self.finalize_stats();
+                        return SolveResult::Unknown(UnknownReason::Timeout);
+                    }
+                    let result = match speculation.take() {
+                        // First check comes precomputed: account for it
+                        // exactly as if it ran here — fold in its
+                        // statistics, replay its trace events (stamped
+                        // with the worker that ran it), absorb its
+                        // metrics.
+                        Some(p) => {
+                            self.apply_delta(&p.delta);
+                            for mut e in p.events {
+                                e.thread = Some(p.worker);
+                                linarb_trace::replay(&e);
+                            }
+                            if let Some(rep) = &p.report {
+                                linarb_trace::metrics::absorb_current(rep);
+                            }
+                            p.result
+                        }
+                        None => self.check_clause(clause, budget),
+                    };
+                    let model = match result {
+                        SmtResult::Unsat => break, // clause valid
+                        SmtResult::Unknown => {
+                            self.finalize_stats();
+                            return SolveResult::Unknown(UnknownReason::SmtUnknown);
+                        }
+                        SmtResult::Sat(m) => m,
+                    };
+                    match self.resolve(clause, model) {
+                        Resolution::HeadWeakened(h) => {
+                            // Re-queue clauses mentioning h; prefer the
+                            // clauses that consume h in the body (the
+                            // paper's propagation order) by pushing this
+                            // clause last.
+                            changed_round.insert(h);
+                            self.mark_dirty(h, &mut dirty, &mut dirty_set);
+                            if dirty_set.insert(cid) {
+                                dirty.push_back(cid);
+                            }
+                            break;
+                        }
+                        Resolution::BodyStrengthened(changed) => {
+                            for p in changed {
+                                changed_round.insert(p);
+                                self.mark_dirty(p, &mut dirty, &mut dirty_set);
+                            }
+                            // keep refining this same clause (inner loop)
+                        }
+                        Resolution::Refuted(tree) => return SolveResult::Unsat(tree),
+                        Resolution::Failed(reason) => {
+                            self.finalize_stats();
+                            return SolveResult::Unknown(reason);
+                        }
                     }
                 }
             }
@@ -506,6 +780,94 @@ impl<'a> CegarSolver<'a> {
         // Every clause validated.
         self.finalize_stats();
         SolveResult::Sat(self.interp.clone())
+    }
+
+    /// Runs this round's oracle pre-checks — one isolated task per
+    /// frontier clause, all against the round-start interpretation —
+    /// and returns per-clause outcomes in frontier order.
+    ///
+    /// With ≥ 2 frontier clauses the checks are farmed out to the
+    /// pool: each clause's persistent [`ClauseContext`] moves into its
+    /// task (keyed by clause id), is snapshotted there, and both
+    /// states travel back; statistics, trace events, and metrics are
+    /// merged on this thread in frontier (FIFO dirtying) order — so
+    /// the observable outcome is identical at every thread count.
+    /// Worker-side events are stamped with their worker id before
+    /// replay. The pre-checks are **pure speculation**: the merge loop
+    /// consumes a seed only when it is provably the check the serial
+    /// algorithm would have run (see `solve_inner`), and restores the
+    /// pre-check snapshot otherwise. With a 1-thread pool, or a
+    /// single-clause frontier, the machinery is skipped entirely
+    /// (`None` seeds): speculation costs context snapshots and
+    /// possibly-wasted checks, which only parallel execution pays for.
+    fn precheck_frontier(
+        &mut self,
+        frontier: &[ClauseId],
+        budget: &Budget,
+    ) -> Vec<Option<Precheck>> {
+        if self.pool.threads() < 2 || frontier.len() < 2 {
+            return frontier.iter().map(|_| None).collect();
+        }
+        self.stats.parallel_batches += 1;
+        self.stats.par_checks += frontier.len();
+        let inputs: Vec<(ClauseId, Option<ClauseContext>)> = frontier
+            .iter()
+            .map(|&cid| (cid, self.contexts.remove(&cid)))
+            .collect();
+        let sys = self.sys;
+        let interp = &self.interp;
+        let mode = self.config.oracle;
+        let reset = self.config.oracle_reset;
+        // Each task mirrors the caller's tracing/metrics setup: a
+        // worker-local collecting sink at the caller's effective level
+        // and a worker-local metrics scope, both merged below. When
+        // neither is on, tasks skip capture entirely.
+        let level = linarb_trace::effective_level();
+        let metrics_on = linarb_trace::metrics::metrics_enabled();
+        let outcomes = self.pool.parallel_map(inputs, move |(cid, slot)| {
+            let clause = sys.clause(cid);
+            // Snapshot the context on the worker (clones in parallel)
+            // so the merge loop can undo the whole check.
+            let backup = slot.clone();
+            let mut slot = slot;
+            let mut delta = CheckDelta::default();
+            let mut events: Vec<Event> = Vec::new();
+            let mut report: Option<MetricsReport> = None;
+            let result = {
+                let sink = (level != Level::Off).then(CollectingSink::new);
+                let _guard = sink
+                    .clone()
+                    .map(|s| LocalSinkGuard::install(Box::new(s), level));
+                let scope = metrics_on.then(linarb_trace::MetricsScope::new);
+                let r = oracle_check(
+                    sys, interp, clause, mode, reset, &mut slot, budget, &mut delta,
+                );
+                if let Some(s) = &sink {
+                    events = s.take();
+                }
+                if let Some(sc) = &scope {
+                    report = Some(sc.take_report());
+                }
+                r
+            };
+            Precheck {
+                ctx: slot,
+                backup,
+                result,
+                delta,
+                events,
+                report,
+                worker: linarb_pool::current_worker() as u64,
+            }
+        });
+        outcomes.into_iter().map(Some).collect()
+    }
+
+    /// Folds a worker task's statistics into the solver's.
+    fn apply_delta(&mut self, delta: &CheckDelta) {
+        self.stats.smt_checks += delta.smt_checks;
+        self.stats.smt_checks_skipped += delta.smt_checks_skipped;
+        self.stats.ctx_reuse_hits += delta.ctx_reuse_hits;
     }
 
     fn finalize_stats(&mut self) {
@@ -517,97 +879,29 @@ impl<'a> CegarSolver<'a> {
             .values()
             .map(|c| c.solver.learned_clauses() as usize)
             .sum();
+        self.stats.steal_count = self.pool.steal_count();
     }
 
     /// One SMT validity check of `clause` under the current
-    /// interpretation, through the configured oracle.
+    /// interpretation, through the configured oracle (serial path:
+    /// used by the merge loop's live checks).
     fn check_clause(&mut self, clause: &Clause, budget: &Budget) -> SmtResult {
-        // The span covers skipped/cached answers too: "core.oracle" in
-        // the metrics report is the loop's total oracle-side time.
-        let mut span = linarb_trace::span(Level::Debug, "core", "core.oracle");
-        self.stats.smt_checks += 1;
-        let result = match self.config.oracle {
-            OracleMode::Fresh => {
-                let check = self.sys.validity_check(clause, &self.interp);
-                check_sat(&check, budget)
-            }
-            OracleMode::Incremental => self.check_clause_incremental(clause, budget),
-        };
-        if span.active() {
-            span.record("clause", clause.id.0);
-            span.record("result", result.label());
+        let mut slot = self.contexts.remove(&clause.id);
+        let mut delta = CheckDelta::default();
+        let result = oracle_check(
+            self.sys,
+            &self.interp,
+            clause,
+            self.config.oracle,
+            self.config.oracle_reset,
+            &mut slot,
+            budget,
+            &mut delta,
+        );
+        if let Some(ctx) = slot {
+            self.contexts.insert(clause.id, ctx);
         }
-        result
-    }
-
-    fn check_clause_incremental(&mut self, clause: &Clause, budget: &Budget) -> SmtResult {
-        // An unconstrained head (`true`) cannot be violated: the check
-        // formula contains the conjunct ¬true.
-        if let ClauseHead::Pred(app) = &clause.head {
-            if !self.interp.contains_key(&app.pred) {
-                self.stats.smt_checks_skipped += 1;
-                return SmtResult::Unsat;
-            }
-        }
-        let reset = self.config.oracle_reset;
-        let ctx = self
-            .contexts
-            .entry(clause.id)
-            .or_insert_with(|| ClauseContext::new(clause, reset));
-        // Countermodel reuse: if the previous countermodel still
-        // violates the clause under the *current* interpretation, it is
-        // a valid answer and the oracle run is skipped. Two guards keep
-        // the fast path from degrading sample quality: the model must
-        // assign every variable of the current check (an under-
-        // specified model would be zero-completed by `eval`, yielding
-        // degenerate samples), and a cached model is served at most
-        // once — `take()` clears it — so refinement never pins on one
-        // stale point for many rounds.
-        if let Some(m) = ctx.last_countermodel.take() {
-            let chk = self.sys.validity_check(clause, &self.interp);
-            if chk.vars().iter().all(|v| m.get(*v).is_some()) && chk.eval(&m) {
-                self.stats.smt_checks_skipped += 1;
-                return SmtResult::Sat(m);
-            }
-        }
-        // Assemble the interpretation-dependent pieces and their
-        // activation literals, encoding only pieces this context has
-        // never seen.
-        let mut active: Vec<Lit> = Vec::new();
-        let mut add_piece = |piece: Formula, ctx: &mut ClauseContext, hits: &mut usize| {
-            if matches!(piece, Formula::True) {
-                return;
-            }
-            match ctx.guards.get(&piece) {
-                Some(&g) => {
-                    *hits += 1;
-                    active.push(g);
-                }
-                None => {
-                    let g = ctx.solver.push_guarded(&piece);
-                    ctx.guards.insert(piece, g);
-                    active.push(g);
-                }
-            }
-        };
-        for app in &clause.body_preds {
-            let f = ChcSystem::interp_of(&self.interp, app.pred);
-            let piece = app.instantiate(f, &self.sys.pred(app.pred).params);
-            add_piece(piece, ctx, &mut self.stats.ctx_reuse_hits);
-        }
-        if let ClauseHead::Pred(app) = &clause.head {
-            let f = ChcSystem::interp_of(&self.interp, app.pred);
-            let piece = Formula::not(app.instantiate(f, &self.sys.pred(app.pred).params));
-            add_piece(piece, ctx, &mut self.stats.ctx_reuse_hits);
-        }
-        let result = ctx.solver.check(&active, budget);
-        if let SmtResult::Sat(m) = &result {
-            debug_assert!(
-                self.sys.validity_check(clause, &self.interp).eval(m),
-                "incremental oracle must return genuine countermodels"
-            );
-            ctx.last_countermodel = Some(m.clone());
-        }
+        self.apply_delta(&delta);
         result
     }
 
@@ -1022,6 +1316,82 @@ mod tests {
             SolveResult::Unknown(UnknownReason::IterationLimit) => {}
             other => panic!("expected iteration limit, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn any_thread_count_matches_sequential_exactly() {
+        let sys = parse_chc(FIG1).unwrap();
+        let run = |threads: usize| {
+            let mut s =
+                CegarSolver::new(&sys, SolverConfig::default().with_threads(threads));
+            let r = s.solve(&Budget::unlimited());
+            let SolveResult::Sat(interp) = r else {
+                panic!("fig1 must verify at {threads} threads");
+            };
+            (interp, s.stats().clone())
+        };
+        let (i1, s1) = run(1);
+        assert_eq!(s1.parallel_batches, 0, "1 thread must not speculate");
+        for threads in [2, 4, 8] {
+            let (ik, sk) = run(threads);
+            assert_eq!(i1, ik, "interpretation must be identical at {threads} threads");
+            // Everything except the parallelism diagnostics is
+            // byte-identical: the merge loop replays the sequential
+            // trajectory regardless of thread count.
+            assert_eq!(s1.iterations, sk.iterations);
+            assert_eq!(s1.smt_checks, sk.smt_checks);
+            assert_eq!(s1.smt_checks_skipped, sk.smt_checks_skipped);
+            assert_eq!(s1.ctx_reuse_hits, sk.ctx_reuse_hits);
+            assert_eq!(s1.samples, sk.samples);
+            assert_eq!(s1.positive_samples, sk.positive_samples);
+            assert_eq!(s1.learn_calls, sk.learn_calls);
+            assert!(sk.parallel_batches > 0, "{threads} threads must speculate on fig1");
+            assert!(sk.par_checks >= sk.par_discarded);
+        }
+    }
+
+    #[test]
+    fn parallel_refutation_matches_sequential() {
+        let text = r#"
+            (declare-fun p (Int Int) Bool)
+            (assert (forall ((x Int) (y Int))
+                (=> (and (= x 0) (= y 1)) (p x y))))
+            (assert (forall ((x Int) (y Int) (x1 Int) (y1 Int))
+                (=> (and (p x y) (= x1 (+ x y)) (= y1 (+ y 1))) (p x1 y1))))
+            (assert (forall ((x Int) (y Int))
+                (=> (p x y) (>= x y))))
+        "#;
+        let sys = parse_chc(text).unwrap();
+        let run = |threads: usize| {
+            let mut s =
+                CegarSolver::new(&sys, SolverConfig::default().with_threads(threads));
+            match s.solve(&Budget::unlimited()) {
+                SolveResult::Unsat(tree) => {
+                    assert!(tree.replay(&sys), "derivation must replay");
+                    (tree.size(), tree.depth(), s.stats().iterations)
+                }
+                other => panic!("expected unsat at {threads} threads, got {other:?}"),
+            }
+        };
+        assert_eq!(run(1), run(4), "derivation trees must match across thread counts");
+    }
+
+    #[test]
+    fn contexts_and_prechecks_are_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<ClauseContext>();
+        assert_send::<Precheck>();
+    }
+
+    #[test]
+    fn threads_env_parsing() {
+        // Builder clamps zero; env parsing is covered indirectly (the
+        // env var is process-global, so tests don't mutate it).
+        let cfg = SolverConfig::default().with_threads(0);
+        assert_eq!(cfg.threads, 1);
+        let cfg = SolverConfig::default().with_threads(6);
+        assert_eq!(cfg.threads, 6);
+        assert!(format!("{cfg:?}").contains("threads: 6"));
     }
 }
 

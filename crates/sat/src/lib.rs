@@ -126,7 +126,13 @@ struct ClauseInfo {
 
 /// A CDCL SAT solver over clauses of [`Lit`]s.
 ///
+/// Cloning yields an independent solver with identical state (clause
+/// database, learned clauses, activities, saved phases): the clone and
+/// the original answer future queries identically. Parallel clause
+/// checking uses this for speculative checks that may be discarded.
+///
 /// See the [crate documentation](crate) for an example.
+#[derive(Clone)]
 pub struct SatSolver {
     clauses: Vec<ClauseInfo>,
     /// Watch lists indexed by literal code: clauses watching that literal.

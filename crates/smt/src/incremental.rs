@@ -52,7 +52,7 @@ const FRESH_VAR_BASE: u32 = 1 << 28;
 
 /// A persistent DPLL(T) solving context. See the [module
 /// documentation](self) for the lifecycle.
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct IncrementalSolver {
     enc: Encoder,
     /// Monotone supply of fresh `Var` indices for mod-lowering: shared
@@ -185,7 +185,6 @@ impl IncrementalSolver {
     fn check_inner(&mut self, active: &[Lit], budget: &Budget, rounds: &mut u64) -> SmtResult {
         use linarb_trace::{event, metrics, Level};
         self.checks += 1;
-        self.enc.sat.set_conflict_limit(budget.conflict_limit());
         if self.reset_decisions {
             self.enc.sat.reset_decision_state();
         }
@@ -218,7 +217,13 @@ impl IncrementalSolver {
                 return SmtResult::Unknown;
             }
             *rounds += 1;
-            match self.enc.sat.solve_under_assumptions(&assumptions) {
+            // Re-read the cap every round: concurrent workers may have
+            // drained a shared conflict pool since the last search.
+            self.enc.sat.set_conflict_limit(budget.effective_conflict_limit());
+            let conflicts0 = self.enc.sat.num_conflicts();
+            let verdict = self.enc.sat.solve_under_assumptions(&assumptions);
+            budget.charge_conflicts(self.enc.sat.num_conflicts() - conflicts0);
+            match verdict {
                 SatResult::Unsat => {
                     return if had_theory_unknown { SmtResult::Unknown } else { SmtResult::Unsat }
                 }
@@ -446,6 +451,25 @@ mod tests {
             }
             other => panic!("expected sat, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn incremental_solver_is_send() {
+        // Parallel clause checking moves whole contexts to worker
+        // threads; the solver (and everything it owns) must be Send.
+        fn assert_send<T: Send>() {}
+        assert_send::<IncrementalSolver>();
+    }
+
+    #[test]
+    fn drained_global_pool_stops_checks() {
+        let mut s = IncrementalSolver::new();
+        s.assert_permanent(&Formula::from(Atom::ge(x(), c(0))));
+        let budget = Budget::unlimited().with_global_conflict_limit(50);
+        // Simulate siblings having spent the whole allowance.
+        budget.charge_conflicts(50);
+        assert!(budget.exhausted());
+        assert!(matches!(s.check(&[], &budget), SmtResult::Unknown));
     }
 
     #[test]

@@ -198,7 +198,6 @@ fn check_sat_inner(f: &Formula, budget: &Budget, rounds: &mut u64) -> SmtResult 
     let mut enc = Encoder::new();
     let root = enc.encode(&f);
     enc.sat.add_clause(&[root]);
-    enc.sat.set_conflict_limit(budget.conflict_limit());
     event!(Level::Trace, "smt", "tseitin.encoded",
         "atoms" => enc.num_atoms(),
         "subformulas" => enc.num_subformulas(),
@@ -216,7 +215,13 @@ fn check_sat_inner(f: &Formula, budget: &Budget, rounds: &mut u64) -> SmtResult 
             return SmtResult::Unknown;
         }
         *rounds += 1;
-        match enc.sat.solve() {
+        // Re-read the cap every round: concurrent workers may have
+        // drained a shared conflict pool since the last search.
+        enc.sat.set_conflict_limit(budget.effective_conflict_limit());
+        let conflicts0 = enc.sat.num_conflicts();
+        let verdict = enc.sat.solve();
+        budget.charge_conflicts(enc.sat.num_conflicts() - conflicts0);
+        match verdict {
             SatResult::Unsat => {
                 return if had_theory_unknown { SmtResult::Unknown } else { SmtResult::Unsat }
             }

@@ -171,31 +171,36 @@ pub fn emit_metrics(report: &MetricsReport) {
 
 /// RAII installation of a thread-local sink: while alive, this
 /// thread's events go to `sink` instead of the global one. Built for
-/// tests (deterministic capture under parallel test execution).
+/// tests (deterministic capture under parallel test execution) and
+/// for per-task capture inside parallel solver regions. Guards nest:
+/// installing over an existing local sink shadows it, and dropping
+/// the inner guard restores the outer sink.
 pub struct LocalSinkGuard {
-    _private: (),
+    prev: Option<(Box<dyn Sink>, Level)>,
 }
 
 impl LocalSinkGuard {
     /// Installs `sink` on the current thread at `level`.
     pub fn install(sink: Box<dyn Sink>, level: Level) -> LocalSinkGuard {
-        LOCAL_SINK.with(|l| *l.borrow_mut() = Some((sink, level)));
+        let prev = LOCAL_SINK.with(|l| l.borrow_mut().replace((sink, level)));
         LOCAL_COUNT.fetch_add(1, Ordering::Relaxed);
         // Monotone max while any local sink lives; exact enough (the
         // gate only needs to be ≥ every listener's level).
         LOCAL_MAX_LEVEL.fetch_max(level as u8, Ordering::Relaxed);
         refresh_max();
-        LocalSinkGuard { _private: () }
+        LocalSinkGuard { prev }
     }
 }
 
 impl Drop for LocalSinkGuard {
     fn drop(&mut self) {
+        let prev = self.prev.take();
         LOCAL_SINK.with(|l| {
-            if let Some((sink, _)) = l.borrow_mut().as_mut() {
+            let mut slot = l.borrow_mut();
+            if let Some((sink, _)) = slot.as_mut() {
                 sink.flush();
             }
-            *l.borrow_mut() = None;
+            *slot = prev;
         });
         if LOCAL_COUNT.fetch_sub(1, Ordering::Relaxed) == 1 {
             LOCAL_MAX_LEVEL.store(0, Ordering::Relaxed);
@@ -213,6 +218,41 @@ fn clock_origin() -> Instant {
 /// Microseconds since the trace clock's origin.
 pub fn now_us() -> u64 {
     clock_origin().elapsed().as_micros() as u64
+}
+
+/// The level the current thread's events are filtered at: the local
+/// sink's level when one is installed, the global level otherwise.
+/// Parallel regions read this before fanning out so each worker can
+/// capture at exactly the verbosity the merge thread will replay.
+pub fn effective_level() -> Level {
+    let local = LOCAL_SINK.with(|l| l.borrow().as_ref().map(|(_, lvl)| *lvl));
+    local.unwrap_or(match GLOBAL_LEVEL.load(Ordering::Relaxed) {
+        0 => Level::Off,
+        1 => Level::Info,
+        2 => Level::Debug,
+        _ => Level::Trace,
+    })
+}
+
+/// Forwards an already-captured event to the current thread's active
+/// sink (thread-local if installed, global otherwise) without level
+/// filtering — the event was filtered when it was captured. Used to
+/// merge per-worker event buffers back into the main trace stream in
+/// a deterministic order.
+pub fn replay(e: &Event) {
+    let handled = LOCAL_SINK.with(|l| {
+        if let Some((sink, _)) = l.borrow_mut().as_mut() {
+            sink.event(e);
+            true
+        } else {
+            false
+        }
+    });
+    if !handled && GLOBAL_LEVEL.load(Ordering::Relaxed) > 0 {
+        if let Some(sink) = GLOBAL_SINK.lock().unwrap().as_mut() {
+            sink.event(e);
+        }
+    }
 }
 
 fn dispatch(level: Level, e: &Event) {
@@ -245,7 +285,15 @@ pub fn emit(level: Level, target: &'static str, name: &'static str, fields: Vec<
     if !enabled(level) {
         return;
     }
-    let e = Event { t_us: now_us(), kind: EventKind::Event, target, name, dur_us: None, fields };
+    let e = Event {
+        t_us: now_us(),
+        kind: EventKind::Event,
+        target,
+        name,
+        dur_us: None,
+        thread: None,
+        fields,
+    };
     dispatch(level, &e);
 }
 
@@ -300,6 +348,7 @@ pub fn span(level: Level, target: &'static str, name: &'static str) -> SpanGuard
             target,
             name,
             dur_us: None,
+            thread: None,
             fields: Vec::new(),
         };
         dispatch(level, &e);
@@ -350,6 +399,7 @@ impl Drop for SpanGuard {
                 target: inner.target,
                 name: inner.name,
                 dur_us: Some(dur.as_micros() as u64),
+                thread: None,
                 fields: inner.fields,
             };
             dispatch(inner.level, &e);
@@ -460,6 +510,44 @@ mod tests {
         }
         let rep = scope.take_report();
         assert_eq!(rep.timers["test.metrics_only"].count, 1);
+    }
+
+    #[test]
+    fn local_sinks_nest_and_restore() {
+        let outer = CollectingSink::new();
+        let _og = LocalSinkGuard::install(Box::new(outer.clone()), Level::Debug);
+        assert_eq!(effective_level(), Level::Debug);
+        event!(Level::Info, "t", "before");
+        {
+            let inner = CollectingSink::new();
+            let _ig = LocalSinkGuard::install(Box::new(inner.clone()), Level::Trace);
+            assert_eq!(effective_level(), Level::Trace);
+            event!(Level::Trace, "t", "inner_only");
+            assert_eq!(inner.take().len(), 1);
+        }
+        // Inner guard dropped: the outer sink is active again.
+        event!(Level::Info, "t", "after");
+        let names: Vec<&str> = outer.take().iter().map(|e| e.name).collect();
+        assert_eq!(names, vec!["before", "after"]);
+    }
+
+    #[test]
+    fn replay_bypasses_level_filter() {
+        let sink = CollectingSink::new();
+        let _g = LocalSinkGuard::install(Box::new(sink.clone()), Level::Info);
+        let e = Event {
+            t_us: 1,
+            kind: EventKind::Event,
+            target: "t",
+            name: "captured_at_trace",
+            dur_us: None,
+            thread: Some(3),
+            fields: Vec::new(),
+        };
+        replay(&e);
+        let got = sink.take();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].thread, Some(3));
     }
 
     #[test]

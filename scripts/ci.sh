@@ -9,25 +9,58 @@ cd "$(dirname "$0")/.."
 echo "== build (release) =="
 cargo build --release --offline
 
-echo "== tests =="
-cargo test -q --offline --workspace
+echo "== tests (LINARB_THREADS=1) =="
+LINARB_THREADS=1 cargo test -q --offline --workspace
+
+echo "== tests (LINARB_THREADS=4) =="
+# The whole suite must hold verbatim with parallel clause checking on:
+# results are bit-identical at every thread count by design, so any
+# test that passes at 1 thread and fails at 4 is a determinism bug.
+LINARB_THREADS=4 cargo test -q --offline --workspace
+
+echo "== parallel determinism gate =="
+# The differential test comparing threads=1 vs threads=4 in both
+# oracle modes (verdicts, interpretations, stats, trace sequences).
+# Already part of the workspace runs above; repeated here by name so
+# a filtered or partial CI invocation cannot skip it silently.
+cargo test -q --offline -p linarb-bench --test parallel_determinism
 
 echo "== trace smoke (structured JSONL trace of one benchmark) =="
 # Solve a benchmark with tracing on, then validate that the emitted
 # trace is non-empty, well-formed JSONL containing spans from every
-# instrumented layer and the final metrics report.
-trace_out="$(mktemp /tmp/linarb_trace.XXXXXX.jsonl)"
-cargo run --release --offline -p linarb --bin linarb -- \
-    --trace debug --trace-out "$trace_out" examples/fig1.smt2
-cargo run --release --offline -p linarb --bin linarb -- \
-    --check-jsonl "$trace_out"
-for target in core smt sat ml; do
-    grep -q "\"target\":\"$target\"" "$trace_out" \
-        || { echo "trace smoke: no events from '$target'" >&2; exit 1; }
+# instrumented layer and the final metrics report. Run once per
+# thread count: the deterministic portion of both traces must agree
+# event for event (timestamps and thread ids are the only sanctioned
+# difference, and `--check-jsonl` plus the diff below pin that).
+trace_out_1t="$(mktemp /tmp/linarb_trace_1t.XXXXXX.jsonl)"
+trace_out_4t="$(mktemp /tmp/linarb_trace_4t.XXXXXX.jsonl)"
+LINARB_THREADS=1 cargo run --release --offline -p linarb --bin linarb -- \
+    --trace debug --trace-out "$trace_out_1t" examples/fig1.smt2
+LINARB_THREADS=4 cargo run --release --offline -p linarb --bin linarb -- \
+    --trace debug --trace-out "$trace_out_4t" examples/fig1.smt2
+for trace_out in "$trace_out_1t" "$trace_out_4t"; do
+    cargo run --release --offline -p linarb --bin linarb -- \
+        --check-jsonl "$trace_out"
+    for target in core smt sat ml; do
+        grep -q "\"target\":\"$target\"" "$trace_out" \
+            || { echo "trace smoke: no events from '$target'" >&2; exit 1; }
+    done
+    grep -q '"kind":"metrics_report"' "$trace_out" \
+        || { echo "trace smoke: missing metrics report trailer" >&2; exit 1; }
 done
-grep -q '"kind":"metrics_report"' "$trace_out" \
-    || { echo "trace smoke: missing metrics report trailer" >&2; exit 1; }
-rm -f "$trace_out"
+# Strip the wall-clock and thread-id fields and the metrics trailer
+# (which embeds span timings), then require byte equality.
+scrub() {
+    # `thread` is comma-prefixed and only present on replayed worker
+    # events; `t_us`/`dur_us` are always present and comma-suffixed.
+    grep -v '"kind":"metrics_report"' "$1" \
+        | sed -E 's/,"thread":[0-9]+//g; s/"(t_us|dur_us)":[0-9]+,//g'
+}
+if ! diff <(scrub "$trace_out_1t") <(scrub "$trace_out_4t") >/dev/null; then
+    echo "trace smoke: 1-thread and 4-thread traces diverge" >&2
+    exit 1
+fi
+rm -f "$trace_out_1t" "$trace_out_4t"
 
 echo "== perf smoke (incremental vs fresh oracle) =="
 # Writes BENCH_<n>.json into the repo root; see EXPERIMENTS.md for the

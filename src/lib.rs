@@ -50,6 +50,7 @@ pub use linarb_baselines as baselines;
 pub use linarb_frontend as frontend;
 pub use linarb_logic as logic;
 pub use linarb_ml as ml;
+pub use linarb_pool as pool;
 pub use linarb_sat as sat;
 pub use linarb_smt as smt;
 pub use linarb_solver as solver;

@@ -26,6 +26,10 @@ options:
   --oracle <incremental|fresh>    SMT oracle mode (default incremental)
   --oracle-reset                  reset SAT decision heuristics between
                                   incremental checks
+  --threads <n>                   worker threads for parallel clause
+                                  checking (default 1; env
+                                  LINARB_THREADS). Results are
+                                  bit-identical at every thread count
   --no-dt                         disable decision-tree generalization
   --timeout-ms <n>                solve budget in milliseconds
   --max-iterations <n>            CEGAR iteration cap
@@ -42,6 +46,7 @@ struct Cli {
     stats: bool,
     oracle: OracleMode,
     oracle_reset: bool,
+    threads: Option<usize>,
     no_dt: bool,
     timeout_ms: Option<u64>,
     max_iterations: Option<usize>,
@@ -56,6 +61,7 @@ fn parse_args() -> Result<Cli, String> {
         stats: false,
         oracle: OracleMode::Incremental,
         oracle_reset: false,
+        threads: None,
         no_dt: false,
         timeout_ms: None,
         max_iterations: None,
@@ -83,6 +89,15 @@ fn parse_args() -> Result<Cli, String> {
                 };
             }
             "--oracle-reset" => cli.oracle_reset = true,
+            "--threads" => {
+                let n: usize = value("--threads")?
+                    .parse()
+                    .map_err(|_| "bad --threads value".to_string())?;
+                if n == 0 {
+                    return Err("--threads must be at least 1".to_string());
+                }
+                cli.threads = Some(n);
+            }
             "--no-dt" => cli.no_dt = true,
             "--timeout-ms" => {
                 cli.timeout_ms = Some(
@@ -193,6 +208,9 @@ fn main() -> ExitCode {
     let mut config = SolverConfig::with_learn_config(learn)
         .with_oracle(cli.oracle)
         .with_oracle_reset(cli.oracle_reset);
+    if let Some(n) = cli.threads {
+        config = config.with_threads(n);
+    }
     if let Some(n) = cli.max_iterations {
         config.max_iterations = n;
     }
