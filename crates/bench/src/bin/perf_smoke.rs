@@ -44,6 +44,12 @@ struct ModeRun {
     oracle_s: f64,
     learner_s: f64,
     sample_extraction_s: f64,
+    /// Oracle-phase breakdown: what the SMT engine did with its time
+    /// (warm-start pivots, theory frame pops, clause-DB maintenance).
+    simplex_pivots: u64,
+    theory_backtracks: u64,
+    db_reductions: u64,
+    learned_db_size: usize,
 }
 
 fn run_mode(mode: OracleMode, suite: &[linarb_suite::Benchmark], timeout: Duration) -> ModeRun {
@@ -58,6 +64,10 @@ fn run_mode(mode: OracleMode, suite: &[linarb_suite::Benchmark], timeout: Durati
         oracle_s: 0.0,
         learner_s: 0.0,
         sample_extraction_s: 0.0,
+        simplex_pivots: 0,
+        theory_backtracks: 0,
+        db_reductions: 0,
+        learned_db_size: 0,
     };
     let scope = linarb_trace::MetricsScope::new();
     for b in suite {
@@ -77,6 +87,10 @@ fn run_mode(mode: OracleMode, suite: &[linarb_suite::Benchmark], timeout: Durati
         run.smt_checks_skipped += stats.smt_checks_skipped;
         run.ctx_reuse_hits += stats.ctx_reuse_hits;
         run.learned_clauses += stats.learned_clauses;
+        run.simplex_pivots += stats.simplex_pivots;
+        run.theory_backtracks += stats.theory_backtracks;
+        run.db_reductions += stats.db_reductions;
+        run.learned_db_size += stats.learned_db_size;
         run.per_bench.push((b.name.clone(), elapsed));
         eprintln!(
             "  {:24} {:8} {:>9.3}s  checks {:4} (skipped {:3})",
@@ -158,15 +172,21 @@ fn run_thread_sweep(
     tr
 }
 
-/// First unused `BENCH_<n>.json` slot in `dir`.
+/// `BENCH_<n>.json` slot after the highest existing index in `dir`
+/// (not the first unused one: earlier reports may have been pruned
+/// from the tree, and report numbering must keep moving forward so
+/// `BENCH_<n>` always succeeds `BENCH_<n-1>` chronologically).
 fn next_report_path(dir: &PathBuf) -> PathBuf {
-    for n in 0.. {
-        let p = dir.join(format!("BENCH_{n}.json"));
-        if !p.exists() {
-            return p;
-        }
-    }
-    unreachable!()
+    let max = std::fs::read_dir(dir)
+        .into_iter()
+        .flatten()
+        .flatten()
+        .filter_map(|e| {
+            let name = e.file_name().into_string().ok()?;
+            name.strip_prefix("BENCH_")?.strip_suffix(".json")?.parse::<u64>().ok()
+        })
+        .max();
+    dir.join(format!("BENCH_{}.json", max.map_or(0, |m| m + 1)))
 }
 
 /// Reads `fresh.wall_s + incremental.wall_s` out of an earlier
@@ -341,6 +361,13 @@ fn main() {
             "    \"phases\": {{\"oracle_s\": {:.3}, \"learner_s\": {:.3}, \
              \"sample_extraction_s\": {:.3}}},",
             run.oracle_s, run.learner_s, run.sample_extraction_s
+        )
+        .unwrap();
+        writeln!(
+            json,
+            "    \"oracle_breakdown\": {{\"simplex_pivots\": {}, \"theory_backtracks\": {}, \
+             \"db_reductions\": {}, \"learned_db_size\": {}}},",
+            run.simplex_pivots, run.theory_backtracks, run.db_reductions, run.learned_db_size
         )
         .unwrap();
         let times: Vec<String> = run

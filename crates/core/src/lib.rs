@@ -368,6 +368,24 @@ pub struct SolveStats {
     /// Tasks stolen across pool workers (varies run to run even at a
     /// fixed thread count).
     pub steal_count: u64,
+    /// Simplex pivots performed across all persistent clause contexts'
+    /// warm theory tableaux. Oracle-phase diagnostic: depends on which
+    /// speculative pre-checks ran, so — like the `par_*` fields — it
+    /// is excluded from cross-thread-count determinism comparisons.
+    pub simplex_pivots: u64,
+    /// Theory-level backtracks (assertion-frame pops) across all
+    /// persistent clause contexts. Excluded from determinism
+    /// comparisons for the same reason as `simplex_pivots`.
+    pub theory_backtracks: u64,
+    /// Clause-database reductions performed by the persistent CDCL
+    /// cores. Excluded from determinism comparisons for the same
+    /// reason as `simplex_pivots`.
+    pub db_reductions: u64,
+    /// Learned clauses still alive in the CDCL databases after
+    /// reduction (`learned_clauses` is the lifetime total). Excluded
+    /// from determinism comparisons for the same reason as
+    /// `simplex_pivots`.
+    pub learned_db_size: usize,
 }
 
 impl SolveStats {
@@ -386,6 +404,10 @@ impl SolveStats {
         report.set_counter("core.par_checks", self.par_checks as u64);
         report.set_counter("core.par_discarded", self.par_discarded as u64);
         report.set_counter("core.steal_count", self.steal_count);
+        report.set_counter("core.simplex_pivots", self.simplex_pivots);
+        report.set_counter("core.theory_backtracks", self.theory_backtracks);
+        report.set_counter("core.db_reductions", self.db_reductions);
+        report.set_counter("core.learned_db_size", self.learned_db_size as u64);
     }
 
     /// The statistics as a standalone JSON report.
@@ -879,6 +901,26 @@ impl<'a> CegarSolver<'a> {
             .values()
             .map(|c| c.solver.learned_clauses() as usize)
             .sum();
+        self.stats.simplex_pivots = self
+            .contexts
+            .values()
+            .map(|c| c.solver.num_simplex_pivots())
+            .sum();
+        self.stats.theory_backtracks = self
+            .contexts
+            .values()
+            .map(|c| c.solver.num_theory_backtracks())
+            .sum();
+        self.stats.db_reductions = self
+            .contexts
+            .values()
+            .map(|c| c.solver.num_db_reductions())
+            .sum();
+        self.stats.learned_db_size = self
+            .contexts
+            .values()
+            .map(|c| c.solver.learned_db_size())
+            .sum();
         self.stats.steal_count = self.pool.steal_count();
     }
 
@@ -1347,6 +1389,12 @@ mod tests {
             assert_eq!(s1.learn_calls, sk.learn_calls);
             assert!(sk.parallel_batches > 0, "{threads} threads must speculate on fig1");
             assert!(sk.par_checks >= sk.par_discarded);
+            // Oracle-phase diagnostics (simplex_pivots,
+            // theory_backtracks, db_reductions, learned_db_size) are
+            // deliberately NOT compared: speculative pre-checks run
+            // (and are sometimes discarded) only when threads > 1, so
+            // their oracle work varies with the thread count even
+            // though the solve trajectory does not.
         }
     }
 

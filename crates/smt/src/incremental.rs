@@ -37,6 +37,7 @@
 //! [`SatSolver::solve_under_assumptions`]: linarb_sat::SatSolver::solve_under_assumptions
 
 use crate::budget::Budget;
+use crate::online::LiaHook;
 use crate::tseitin::Encoder;
 use crate::theory::{TheoryLia, TheoryVerdict};
 use crate::{lower_mods_from, SmtResult};
@@ -52,9 +53,18 @@ const FRESH_VAR_BASE: u32 = 1 << 28;
 
 /// A persistent DPLL(T) solving context. See the [module
 /// documentation](self) for the lifecycle.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct IncrementalSolver {
     enc: Encoder,
+    /// Long-lived theory context for the online engine: each candidate
+    /// assignment is asserted under a backtrack mark and popped again,
+    /// so the simplex tableau (rows, interned slacks, current basis)
+    /// stays warm across assignments *and* across checks.
+    theory: TheoryLia,
+    /// Online DPLL(T) (theory consulted inside the SAT search) vs. the
+    /// retained offline loop (fresh theory per full model). Defaults to
+    /// online unless `LINARB_SMT_OFFLINE=1`.
+    online: bool,
     /// Monotone supply of fresh `Var` indices for mod-lowering: shared
     /// across all asserts so two formulas never collide.
     next_fresh: u32,
@@ -76,17 +86,32 @@ pub struct IncrementalSolver {
     reset_decisions: bool,
 }
 
+impl Default for IncrementalSolver {
+    fn default() -> IncrementalSolver {
+        IncrementalSolver::new()
+    }
+}
+
 impl IncrementalSolver {
     /// Creates an empty context.
     pub fn new() -> IncrementalSolver {
         IncrementalSolver {
             enc: Encoder::new(),
+            theory: TheoryLia::new(),
+            online: !crate::online::offline_mode(),
             next_fresh: FRESH_VAR_BASE,
             permanent_atoms: HashSet::new(),
             guard_atoms: HashMap::new(),
             checks: 0,
             reset_decisions: false,
         }
+    }
+
+    /// Forces the offline (rebuild-per-model) oracle path for this
+    /// context, regardless of the process-wide default. Used by the
+    /// differential tests.
+    pub fn set_online(&mut self, online: bool) {
+        self.online = online;
     }
 
     /// Chooses whether each [`check`](Self::check) starts from a fresh
@@ -183,7 +208,6 @@ impl IncrementalSolver {
     }
 
     fn check_inner(&mut self, active: &[Lit], budget: &Budget, rounds: &mut u64) -> SmtResult {
-        use linarb_trace::{event, metrics, Level};
         self.checks += 1;
         if self.reset_decisions {
             self.enc.sat.reset_decision_state();
@@ -205,6 +229,110 @@ impl IncrementalSolver {
             .filter(|(_, v)| relevant.contains(v))
             .map(|(a, v)| (a.clone(), v))
             .collect();
+        if self.online {
+            self.check_online(&relevant_atoms, active, budget, rounds)
+        } else {
+            self.check_offline(&relevant_atoms, active, budget, rounds)
+        }
+    }
+
+    /// Online DPLL(T) check: the pooled theory context judges complete
+    /// assignments *inside* the SAT search (via [`LiaHook`]), learning
+    /// theory conflicts as clauses mid-search instead of restarting the
+    /// search per model. The outer loop only handles budget stops and
+    /// abandoned (theory-`Unknown`) assignments.
+    fn check_online(
+        &mut self,
+        relevant_atoms: &[(Atom, BVar)],
+        active: &[Lit],
+        budget: &Budget,
+        rounds: &mut u64,
+    ) -> SmtResult {
+        use linarb_trace::{event, metrics, Level};
+        // Slack rows interned inside popped frames persist (bound-free
+        // slacks are semantically inert), so a context kept across
+        // CEGAR iterations accretes one row per candidate atom it has
+        // ever seen, and every simplex check pays for the whole
+        // tableau (branch-and-bound clones it per node). Keep the warm
+        // tableau while it stays commensurate with what *this* check
+        // can use; once it has clearly outgrown the live atom set, a
+        // fresh small tableau beats a warm bloated one. The factor was
+        // tuned on the perf_smoke suite: tighter caps forfeit real
+        // warm-start wins, an uncapped context times out the biggest
+        // instances. Keyed on solver state only — never wall time — to
+        // preserve cross-thread determinism.
+        let slack_cap = 8 * relevant_atoms.len() + 512;
+        if self.theory.num_slacks() > slack_cap {
+            let (bt, bn, pv) = (
+                self.theory.num_backtracks(),
+                self.theory.num_branch_nodes(),
+                self.theory.num_pivots(),
+            );
+            self.theory = TheoryLia::new();
+            self.theory.restore_stats(bt, bn, pv);
+        }
+        let mut assumptions: Vec<Lit> = active.to_vec();
+        // Allocated lazily on the first abandoned assignment; guards
+        // this check's Unknown blocking clauses so they expire.
+        let mut call_lit: Option<Lit> = None;
+        let mut had_theory_unknown = false;
+        loop {
+            if budget.exhausted() {
+                event!(Level::Debug, "smt", "smt.budget_exhausted", "rounds" => *rounds);
+                metrics::counter("smt.budget_exhausted", 1);
+                return SmtResult::Unknown;
+            }
+            *rounds += 1;
+            // Re-read the cap every round: concurrent workers may have
+            // drained a shared conflict pool since the last search.
+            self.enc.sat.set_conflict_limit(budget.effective_conflict_limit());
+            let conflicts0 = self.enc.sat.num_conflicts();
+            let mut hook = LiaHook::new(&mut self.theory, relevant_atoms, budget);
+            let verdict = self.enc.sat.solve_with_theory(&assumptions, &mut hook);
+            let model = hook.model.take();
+            let abandoned = hook.abandoned.take();
+            drop(hook);
+            budget.charge_conflicts(self.enc.sat.num_conflicts() - conflicts0);
+            match verdict {
+                SatResult::Unsat => {
+                    return if had_theory_unknown { SmtResult::Unknown } else { SmtResult::Unsat }
+                }
+                SatResult::Unknown => return SmtResult::Unknown,
+                SatResult::Sat => {
+                    if let Some(m) = model {
+                        return SmtResult::Sat(m);
+                    }
+                    // Paused. Budget stops are reported by the loop
+                    // head; an abandonment is blocked under this
+                    // check's call literal (a pragma, not a fact) and
+                    // taints any later Unsat.
+                    if let Some(mut clause) = abandoned {
+                        had_theory_unknown = true;
+                        let cl = *call_lit.get_or_insert_with(|| {
+                            let l = self.enc.sat.new_var().positive();
+                            assumptions.push(l);
+                            l
+                        });
+                        clause.push(cl.negated());
+                        if !self.enc.sat.add_clause(&clause) {
+                            return SmtResult::Unknown;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// The retained offline loop: fresh theory per full SAT model,
+    /// blocking clause, re-solve. Reference oracle for the online path.
+    fn check_offline(
+        &mut self,
+        relevant_atoms: &[(Atom, BVar)],
+        active: &[Lit],
+        budget: &Budget,
+        rounds: &mut u64,
+    ) -> SmtResult {
+        use linarb_trace::{event, metrics, Level};
         let mut assumptions: Vec<Lit> = active.to_vec();
         // Allocated lazily on the first abandoned assignment; guards
         // this check's Unknown blocking clauses so they expire.
@@ -297,6 +425,31 @@ impl IncrementalSolver {
     /// Number of distinct theory atoms interned by the encoder.
     pub fn num_atoms(&self) -> usize {
         self.enc.num_atoms()
+    }
+
+    /// Cumulative simplex pivots performed by this context's warm
+    /// theory (statistics; zero while running the offline oracle,
+    /// whose per-model theories are discarded).
+    pub fn num_simplex_pivots(&self) -> u64 {
+        self.theory.num_pivots()
+    }
+
+    /// Cumulative theory-level backtracks (frame pops) on the warm
+    /// theory context (statistics).
+    pub fn num_theory_backtracks(&self) -> u64 {
+        self.theory.num_backtracks()
+    }
+
+    /// Clause-database reductions performed by the CDCL core.
+    pub fn num_db_reductions(&self) -> u64 {
+        self.enc.sat.num_db_reductions()
+    }
+
+    /// Learned clauses currently alive in the CDCL clause database
+    /// (after reductions; [`learned_clauses`](Self::learned_clauses)
+    /// is the lifetime total).
+    pub fn learned_db_size(&self) -> usize {
+        self.enc.sat.learned_db_size()
     }
 }
 

@@ -41,6 +41,7 @@
 
 mod budget;
 mod incremental;
+mod online;
 pub mod simplex;
 mod theory;
 mod tseitin;
@@ -179,7 +180,7 @@ pub fn check_sat(f: &Formula, budget: &Budget) -> SmtResult {
     use linarb_trace::Level;
     let mut span = linarb_trace::span(Level::Debug, "smt", "smt.check_sat");
     let mut rounds = 0u64;
-    let result = check_sat_inner(f, budget, &mut rounds);
+    let result = check_sat_inner(f, budget, &mut rounds, online::offline_mode());
     if span.active() {
         span.record("rounds", rounds);
         span.record("result", result.label());
@@ -187,7 +188,24 @@ pub fn check_sat(f: &Formula, budget: &Budget) -> SmtResult {
     result
 }
 
-fn check_sat_inner(f: &Formula, budget: &Budget, rounds: &mut u64) -> SmtResult {
+/// The pre-online reference oracle: identical pipeline, but it tears
+/// the theory context down after every complete boolean assignment and
+/// restarts the SAT search from the top. Kept for differential testing
+/// against the online engine; `LINARB_SMT_OFFLINE=1` routes
+/// [`check_sat`] here process-wide.
+pub fn check_sat_offline(f: &Formula, budget: &Budget) -> SmtResult {
+    use linarb_trace::Level;
+    let mut span = linarb_trace::span(Level::Debug, "smt", "smt.check_sat");
+    let mut rounds = 0u64;
+    let result = check_sat_inner(f, budget, &mut rounds, true);
+    if span.active() {
+        span.record("rounds", rounds);
+        span.record("result", result.label());
+    }
+    result
+}
+
+fn check_sat_inner(f: &Formula, budget: &Budget, rounds: &mut u64, offline: bool) -> SmtResult {
     use linarb_trace::{event, metrics, Level};
     let f = lower_mods(f).simplify();
     match f {
@@ -203,6 +221,67 @@ fn check_sat_inner(f: &Formula, budget: &Budget, rounds: &mut u64) -> SmtResult 
         "subformulas" => enc.num_subformulas(),
         "clauses" => enc.sat.num_clauses());
     metrics::counter("smt.tseitin_clauses", enc.sat.num_clauses() as u64);
+    if offline {
+        check_sat_loop_offline(&mut enc, budget, rounds)
+    } else {
+        check_sat_loop_online(&mut enc, budget, rounds)
+    }
+}
+
+/// Online DPLL(T) search loop: one long-lived [`TheoryLia`] judges
+/// every complete assignment inside the SAT search via [`online::LiaHook`],
+/// and theory conflicts are learned as clauses mid-search. The outer
+/// loop only re-enters for theory-`Unknown` abandonments and budget
+/// checks.
+fn check_sat_loop_online(enc: &mut Encoder, budget: &Budget, rounds: &mut u64) -> SmtResult {
+    use linarb_trace::{event, metrics, Level};
+    let atom_list: Vec<(Atom, linarb_sat::BVar)> =
+        enc.atoms().map(|(a, v)| (a.clone(), v)).collect();
+    let mut theory = TheoryLia::new();
+    let mut had_theory_unknown = false;
+    loop {
+        if budget.exhausted() {
+            event!(Level::Debug, "smt", "smt.budget_exhausted", "rounds" => *rounds);
+            metrics::counter("smt.budget_exhausted", 1);
+            return SmtResult::Unknown;
+        }
+        *rounds += 1;
+        // Re-read the cap every round: concurrent workers may have
+        // drained a shared conflict pool since the last search.
+        enc.sat.set_conflict_limit(budget.effective_conflict_limit());
+        let conflicts0 = enc.sat.num_conflicts();
+        let mut hook = online::LiaHook::new(&mut theory, &atom_list, budget);
+        let verdict = enc.sat.solve_with_theory(&[], &mut hook);
+        let model = hook.model.take();
+        let abandoned = hook.abandoned.take();
+        drop(hook);
+        budget.charge_conflicts(enc.sat.num_conflicts() - conflicts0);
+        match verdict {
+            SatResult::Unsat => {
+                return if had_theory_unknown { SmtResult::Unknown } else { SmtResult::Unsat }
+            }
+            SatResult::Unknown => return SmtResult::Unknown,
+            SatResult::Sat => {
+                if let Some(m) = model {
+                    return SmtResult::Sat(m);
+                }
+                // Paused: either the budget tripped (the loop head
+                // reports it) or the theory abandoned this assignment —
+                // block it and keep looking, remembering that a boolean
+                // Unsat can no longer be trusted.
+                if let Some(clause) = abandoned {
+                    had_theory_unknown = true;
+                    if clause.is_empty() || !enc.sat.add_clause(&clause) {
+                        return SmtResult::Unknown;
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn check_sat_loop_offline(enc: &mut Encoder, budget: &Budget, rounds: &mut u64) -> SmtResult {
+    use linarb_trace::{event, metrics, Level};
     // Whether some boolean assignment was abandoned because the theory
     // solver could not decide it: an eventual boolean Unsat is then
     // only "unknown" (the abandoned assignment might have been
@@ -301,24 +380,39 @@ pub fn find_countermodel(f: &Formula, budget: &Budget) -> SmtResult {
 /// unsatisfiability. This is the workhorse of the PDR and
 /// interpolation baselines.
 pub fn check_conjunction(atoms: &[Atom], budget: &Budget) -> ConjunctionResult {
-    let mut theory = TheoryLia::new();
-    // The budget's conflict cap bounds search effort here too: the
-    // theory's branch-and-bound node limit is the analogue of CDCL
-    // conflicts. The default cap (500k) leaves the historical 512-node
-    // limit in place; only tighter budgets reduce it.
-    if let Some(limit) = budget.conflict_limit() {
-        theory.set_branch_limit(limit.min(512));
+    // Slack rows interned inside popped frames persist (they are
+    // semantically inert without bounds), so a long-lived pool accretes
+    // columns; rebuild once it crosses this cap.
+    const POOL_MAX_SLACKS: usize = 4096;
+    thread_local! {
+        static CONJUNCTION_POOL: std::cell::RefCell<TheoryLia> =
+            std::cell::RefCell::new(TheoryLia::new());
     }
-    for (tag, a) in atoms.iter().enumerate() {
-        if let Err(c) = theory.assert_atom(a, tag) {
-            return ConjunctionResult::Unsat { core: c.core(), farkas: Some(c) };
+    CONJUNCTION_POOL.with(|pool| {
+        let mut theory = pool.borrow_mut();
+        if theory.num_slacks() > POOL_MAX_SLACKS {
+            *theory = TheoryLia::new();
         }
-    }
-    match theory.check(budget) {
-        TheoryVerdict::Feasible(m) => ConjunctionResult::Sat(m),
-        TheoryVerdict::Unknown => ConjunctionResult::Unknown,
-        TheoryVerdict::Infeasible { core, farkas } => ConjunctionResult::Unsat { core, farkas },
-    }
+        // The budget's conflict cap bounds search effort here too: the
+        // theory's branch-and-bound node limit is the analogue of CDCL
+        // conflicts. The default cap (500k) leaves the historical
+        // 512-node limit in place; only tighter budgets reduce it.
+        theory.set_branch_limit(budget.conflict_limit().map_or(512, |l| l.min(512)));
+        let mark = theory.set_backtrack_point();
+        for (tag, a) in atoms.iter().enumerate() {
+            if let Err(c) = theory.assert_atom(a, tag) {
+                theory.backtrack_to(mark);
+                return ConjunctionResult::Unsat { core: c.core(), farkas: Some(c) };
+            }
+        }
+        let result = match theory.check(budget) {
+            TheoryVerdict::Feasible(m) => ConjunctionResult::Sat(m),
+            TheoryVerdict::Unknown => ConjunctionResult::Unknown,
+            TheoryVerdict::Infeasible { core, farkas } => ConjunctionResult::Unsat { core, farkas },
+        };
+        theory.backtrack_to(mark);
+        result
+    })
 }
 
 /// Checks whether the conjunction of `premises` entails `conclusion`

@@ -70,6 +70,16 @@ struct Bound {
     value: Option<(BigRational, Tag)>,
 }
 
+/// One undo record on the bound trail: the previous value of a bound
+/// that [`assert_upper`](Simplex::assert_upper)/
+/// [`assert_lower`](Simplex::assert_lower) overwrote.
+#[derive(Clone, Debug)]
+struct TrailEntry {
+    col: ColId,
+    kind: BoundKind,
+    prev: Option<(BigRational, Tag)>,
+}
+
 /// The simplex tableau. Cloneable so branch-and-bound can fork states.
 ///
 /// ```
@@ -95,6 +105,11 @@ pub struct Simplex {
     upper: Vec<Bound>,
     beta: Vec<BigRational>,
     pivots: u64,
+    /// Undo records for bound overwrites since the first backtrack
+    /// point. Recording only starts once a caller takes a point, so
+    /// backtrack-free use (e.g. branch-and-bound clones) pays nothing.
+    trail: Vec<TrailEntry>,
+    recording: bool,
 }
 
 impl Simplex {
@@ -154,6 +169,48 @@ impl Simplex {
         self.pivots
     }
 
+    /// Re-seeds the pivot counter when a pool owner rebuilds the
+    /// tableau, keeping the lifetime total monotone.
+    pub(crate) fn restore_pivots(&mut self, pivots: u64) {
+        self.pivots = pivots;
+    }
+
+    /// Number of columns in the tableau (structural + slack).
+    pub fn num_cols(&self) -> usize {
+        self.beta.len()
+    }
+
+    /// Takes a backtrack point: the returned token restores the
+    /// current bound set when passed to
+    /// [`backtrack_to`](Self::backtrack_to). Also enables trail
+    /// recording from here on.
+    pub fn set_backtrack_point(&mut self) -> usize {
+        self.recording = true;
+        self.trail.len()
+    }
+
+    /// Undoes every bound assertion made since `point` (a token from
+    /// [`set_backtrack_point`](Self::set_backtrack_point)), in reverse
+    /// order.
+    ///
+    /// The basis and the assignment `beta` are deliberately *not*
+    /// restored: tableau rows and the beta/row consistency invariant
+    /// are bound-independent, so leaving them in place is sound and is
+    /// exactly what makes the next [`check`](Self::check) a warm start
+    /// — it resumes from the last feasible vertex instead of
+    /// re-pivoting from scratch. Slack rows likewise persist; a slack
+    /// whose bounds have all been retracted no longer constrains
+    /// anything.
+    pub fn backtrack_to(&mut self, point: usize) {
+        while self.trail.len() > point {
+            let e = self.trail.pop().expect("trail entry");
+            match e.kind {
+                BoundKind::Upper => self.upper[e.col].value = e.prev,
+                BoundKind::Lower => self.lower[e.col].value = e.prev,
+            }
+        }
+    }
+
     /// Asserts `col ≤ bound`. Tighter bounds replace looser ones.
     ///
     /// # Errors
@@ -188,6 +245,13 @@ impl Simplex {
                     ],
                 });
             }
+        }
+        if self.recording {
+            self.trail.push(TrailEntry {
+                col,
+                kind: BoundKind::Upper,
+                prev: self.upper[col].value.clone(),
+            });
         }
         self.upper[col].value = Some((bound.clone(), tag));
         if self.basic_row[col].is_none() && self.beta[col] > bound {
@@ -230,6 +294,13 @@ impl Simplex {
                     ],
                 });
             }
+        }
+        if self.recording {
+            self.trail.push(TrailEntry {
+                col,
+                kind: BoundKind::Lower,
+                prev: self.lower[col].value.clone(),
+            });
         }
         self.lower[col].value = Some((bound.clone(), tag));
         if self.basic_row[col].is_none() && self.beta[col] < bound {
@@ -542,6 +613,73 @@ mod tests {
         s.assert_upper(x, rat(5, 1), 0).unwrap();
         s.assert_upper(x, rat(9, 1), 1).unwrap(); // weaker, ignored
         s.assert_lower(x, rat(6, 1), 2).unwrap_err(); // conflicts with 5
+    }
+
+    #[test]
+    fn backtrack_restores_bounds_and_warm_starts() {
+        // Assert a box, take a point, tighten into infeasibility, pop:
+        // the original box must be feasible again, and the check after
+        // the pop starts from the previous vertex (warm basis).
+        let mut s = Simplex::new();
+        let x = s.new_col();
+        let y = s.new_col();
+        let sum = s.new_slack(&[(x, rat(1, 1)), (y, rat(1, 1))]);
+        s.assert_lower(sum, rat(4, 1), 0).unwrap();
+        s.assert_upper(x, rat(3, 1), 1).unwrap();
+        s.check(MAX).unwrap();
+        let point = s.set_backtrack_point();
+        s.assert_upper(y, rat(0, 1), 2).unwrap();
+        s.assert_upper(x, rat(1, 1), 3).unwrap();
+        let conflict = s.check(MAX).unwrap_err();
+        assert_eq!(conflict.core(), vec![0, 2, 3]);
+        s.backtrack_to(point);
+        s.check(MAX).unwrap();
+        assert!(&s.value(x) + &s.value(y) >= rat(4, 1));
+        assert!(s.value(x) <= rat(3, 1));
+        // The retracted y <= 0 is gone: y >= 2 would contradict it,
+        // but now asserts cleanly and the system stays feasible.
+        s.assert_lower(y, rat(2, 1), 4).unwrap();
+        s.check(MAX).unwrap();
+        assert!(s.value(y) >= rat(2, 1));
+    }
+
+    #[test]
+    fn backtrack_restores_overwritten_tighter_bounds() {
+        // Overwriting a bound twice inside one frame must restore the
+        // original value (not the intermediate one) on pop.
+        let mut s = Simplex::new();
+        let x = s.new_col();
+        s.assert_upper(x, rat(10, 1), 0).unwrap();
+        let point = s.set_backtrack_point();
+        s.assert_upper(x, rat(5, 1), 1).unwrap();
+        s.assert_upper(x, rat(2, 1), 2).unwrap();
+        // Looser-than-current assertions are no-ops and must not
+        // corrupt the trail.
+        s.assert_upper(x, rat(7, 1), 3).unwrap();
+        s.backtrack_to(point);
+        // Back to x <= 10: lower bound of 8 is now consistent.
+        s.assert_lower(x, rat(8, 1), 4).unwrap();
+        s.check(MAX).unwrap();
+        assert!(s.value(x) >= rat(8, 1) && s.value(x) <= rat(10, 1));
+    }
+
+    #[test]
+    fn nested_backtrack_points_pop_in_order() {
+        let mut s = Simplex::new();
+        let x = s.new_col();
+        let p0 = s.set_backtrack_point();
+        s.assert_lower(x, rat(1, 1), 0).unwrap();
+        let p1 = s.set_backtrack_point();
+        s.assert_lower(x, rat(6, 1), 1).unwrap();
+        assert!(s.assert_upper(x, rat(4, 1), 2).is_err());
+        s.backtrack_to(p1);
+        s.assert_upper(x, rat(4, 1), 2).unwrap();
+        s.check(MAX).unwrap();
+        assert!(s.value(x) >= rat(1, 1) && s.value(x) <= rat(4, 1));
+        s.backtrack_to(p0);
+        // All bounds retracted: x unconstrained again.
+        s.assert_upper(x, rat(-100, 1), 3).unwrap();
+        s.check(MAX).unwrap();
     }
 
     #[test]

@@ -58,7 +58,6 @@ pub enum TheoryVerdict {
 pub struct TheoryLia {
     simplex: Simplex,
     cols: HashMap<Var, usize>,
-    vars: Vec<Var>,
     /// Canonical homogeneous expression (as sorted (var, coeff) pairs,
     /// leading coefficient positive) -> slack column.
     slacks: HashMap<Vec<(Var, BigInt)>, usize>,
@@ -69,6 +68,18 @@ pub struct TheoryLia {
     max_branch_nodes: u64,
     /// Cumulative branch-and-bound nodes explored (statistics).
     branch_nodes: u64,
+    /// Cumulative [`backtrack_to`](Self::backtrack_to) calls
+    /// (statistics).
+    backtracks: u64,
+}
+
+/// A snapshot of a [`TheoryLia`] assertion frame, returned by
+/// [`TheoryLia::set_backtrack_point`] and consumed by
+/// [`TheoryLia::backtrack_to`]. Marks must be popped in LIFO order.
+#[derive(Clone, Copy, Debug)]
+pub struct TheoryMark {
+    simplex: usize,
+    asserted: usize,
 }
 
 impl TheoryLia {
@@ -77,13 +88,55 @@ impl TheoryLia {
         TheoryLia {
             simplex: Simplex::new(),
             cols: HashMap::new(),
-            vars: Vec::new(),
             slacks: HashMap::new(),
             asserted: Vec::new(),
             max_pivots: 200_000,
             max_branch_nodes: 512,
             branch_nodes: 0,
+            backtracks: 0,
         }
+    }
+
+    /// Takes a backtrack point covering everything asserted so far.
+    ///
+    /// Columns and slack rows interned below the mark survive a
+    /// [`backtrack_to`](Self::backtrack_to) — only bounds (and the
+    /// asserted-atom list) are retracted, which is what makes the next
+    /// check a warm start on the existing tableau.
+    pub fn set_backtrack_point(&mut self) -> TheoryMark {
+        TheoryMark {
+            simplex: self.simplex.set_backtrack_point(),
+            asserted: self.asserted.len(),
+        }
+    }
+
+    /// Retracts every assertion made since `mark` (LIFO). Interned
+    /// columns, slack rows, and the current simplex basis are kept;
+    /// see [`set_backtrack_point`](Self::set_backtrack_point).
+    pub fn backtrack_to(&mut self, mark: TheoryMark) {
+        self.simplex.backtrack_to(mark.simplex);
+        self.asserted.truncate(mark.asserted);
+        self.backtracks += 1;
+    }
+
+    /// Cumulative theory-level backtracks on this context (statistics).
+    pub fn num_backtracks(&self) -> u64 {
+        self.backtracks
+    }
+
+    /// Re-seeds the monotone statistics counters after a pool owner
+    /// rebuilds an accreted context, so lifetime totals survive the
+    /// rebuild.
+    pub(crate) fn restore_stats(&mut self, backtracks: u64, branch_nodes: u64, pivots: u64) {
+        self.backtracks = backtracks;
+        self.branch_nodes = branch_nodes;
+        self.simplex.restore_pivots(pivots);
+    }
+
+    /// Number of interned slack rows. Pool owners use this to decide
+    /// when an accreting context is worth rebuilding from scratch.
+    pub fn num_slacks(&self) -> usize {
+        self.slacks.len()
     }
 
     /// Cumulative branch-and-bound nodes explored by
@@ -108,7 +161,6 @@ impl TheoryLia {
         }
         let c = self.simplex.new_col();
         self.cols.insert(v, c);
-        self.vars.push(v);
         c
     }
 
@@ -205,6 +257,26 @@ impl TheoryLia {
             }
             return TheoryVerdict::Infeasible { core: conflict.core(), farkas: Some(conflict) };
         }
+        // Variables of the *currently asserted* atoms, in first-
+        // assertion order. A warm context retains columns interned by
+        // since-popped frames; those variables are unconstrained here
+        // (their atoms are gone) and their beta values are stale —
+        // backtracking restores bounds, not the assignment — so
+        // branching on their fractional leftovers would be pure waste,
+        // and unbounded waste at that: nothing forces them integral.
+        // On a fresh context this order equals interning order, so the
+        // offline engine's behavior is unchanged.
+        let mut active: Vec<(Var, usize)> = Vec::new();
+        let mut seen: std::collections::HashSet<Var> = std::collections::HashSet::new();
+        for (a, _) in &self.asserted {
+            for (v, _) in a.expr().terms() {
+                if seen.insert(v) {
+                    if let Some(&col) = self.cols.get(&v) {
+                        active.push((v, col));
+                    }
+                }
+            }
+        }
         // Branch and bound on fractional structural variables. The
         // frontier is explored breadth-first: on unbounded polyhedra a
         // depth-first "floor" chain can recede forever while the other
@@ -222,8 +294,7 @@ impl TheoryLia {
             }
             // state is rationally feasible; find a fractional variable.
             let mut fractional: Option<(usize, BigRational)> = None;
-            for v in &self.vars {
-                let col = self.cols[v];
+            for &(_, col) in &active {
                 let val = state.value(col);
                 if !val.is_integer() {
                     fractional = Some((col, val));
@@ -234,17 +305,17 @@ impl TheoryLia {
                 None => {
                     // Integer vertex found.
                     let mut m = Model::new();
-                    for v in &self.vars {
-                        let val = state.value(self.cols[v]);
+                    for &(v, col) in &active {
+                        let val = state.value(col);
                         debug_assert!(val.is_integer());
-                        m.assign(*v, val.floor());
+                        m.assign(v, val.floor());
                     }
                     return TheoryVerdict::Feasible(m);
                 }
                 Some((col, val)) => {
                     // Cheap repair: rounding the rational point often
                     // yields an integer model of the asserted atoms.
-                    if let Some(m) = self.rounded_model(&state) {
+                    if let Some(m) = self.rounded_model(&state, &active) {
                         return TheoryVerdict::Feasible(m);
                     }
                     let fl = val.floor();
@@ -365,17 +436,17 @@ impl TheoryLia {
         None
     }
 
-    /// Tries floor- and nearest-rounding of the rational assignment;
-    /// returns a model if either candidate satisfies every asserted
-    /// atom.
-    fn rounded_model(&self, state: &Simplex) -> Option<Model> {
+    /// Tries floor- and nearest-rounding of the rational assignment
+    /// over the active (currently asserted) variables; returns a model
+    /// if either candidate satisfies every asserted atom.
+    fn rounded_model(&self, state: &Simplex, active: &[(Var, usize)]) -> Option<Model> {
         let half = BigRational::new(BigInt::one(), BigInt::from(2));
         for nearest in [false, true] {
             let mut m = Model::new();
-            for v in &self.vars {
-                let val = state.value(self.cols[v]);
+            for &(v, col) in active {
+                let val = state.value(col);
                 let rounded = if nearest { (&val + &half).floor() } else { val.floor() };
-                m.assign(*v, rounded);
+                m.assign(v, rounded);
             }
             if self.asserted.iter().all(|(a, _)| a.holds(&m)) {
                 return Some(m);
@@ -540,6 +611,45 @@ mod tests {
         assert!(&mx + &my >= int(5));
         assert!(&mx - &my <= int(2));
         assert!(mx <= int(10) && mx >= int(-10));
+    }
+
+    #[test]
+    fn backtrack_retracts_assertions_and_reuses_tableau() {
+        let mut t = TheoryLia::new();
+        t.assert_atom(&Atom::ge(&x() + &y(), c(4)), 0).unwrap();
+        let mark = t.set_backtrack_point();
+        t.assert_atom(&Atom::le(x(), c(0)), 1).unwrap();
+        t.assert_atom(&Atom::le(y(), c(0)), 2).unwrap();
+        let core = infeasible_core(&mut t);
+        assert_eq!(core, vec![0, 1, 2]);
+        // Slacks interned inside the frame persist across the pop (by
+        // design — they are bound-free after it and semantically inert).
+        let slacks_interned = t.num_slacks();
+        t.backtrack_to(mark);
+        assert_eq!(t.num_backtracks(), 1);
+        assert_eq!(t.num_slacks(), slacks_interned);
+        // Re-asserting a homogeneous part seen before the mark interns
+        // nothing new: the x+y slack is reused warm.
+        t.assert_atom(&Atom::le(&x() + &y(), c(9)), 3).unwrap();
+        assert_eq!(t.num_slacks(), slacks_interned);
+        let m = feasible(&mut t);
+        let s = &m.value(v(0)) + &m.value(v(1));
+        assert!(s >= int(4) && s <= int(9));
+    }
+
+    #[test]
+    fn backtrack_clears_early_assert_conflict_state() {
+        // assert_atom pushes onto `asserted` before it can fail; the
+        // mark must clean that up so rounding/diophantine reasoning
+        // never sees the retracted atom again.
+        let mut t = TheoryLia::new();
+        t.assert_atom(&Atom::le(x(), c(4)), 0).unwrap();
+        let mark = t.set_backtrack_point();
+        assert!(t.assert_atom(&Atom::ge(x(), c(5)), 1).is_err());
+        t.backtrack_to(mark);
+        t.assert_atom(&Atom::ge(x(), c(4)), 1).unwrap();
+        let m = feasible(&mut t);
+        assert_eq!(m.value(v(0)), int(4));
     }
 }
 

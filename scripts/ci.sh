@@ -18,12 +18,27 @@ echo "== tests (LINARB_THREADS=4) =="
 # test that passes at 1 thread and fails at 4 is a determinism bug.
 LINARB_THREADS=4 cargo test -q --offline --workspace
 
+echo "== tests (offline oracle path, LINARB_SMT_OFFLINE=1) =="
+# The whole suite must also hold with the SMT engine forced back to
+# the pre-online rebuild-per-model oracle: the two engines are
+# observationally equivalent, and the offline path stays the reference
+# implementation for the differential gate below.
+LINARB_SMT_OFFLINE=1 cargo test -q --offline --workspace
+
 echo "== parallel determinism gate =="
 # The differential test comparing threads=1 vs threads=4 in both
 # oracle modes (verdicts, interpretations, stats, trace sequences).
 # Already part of the workspace runs above; repeated here by name so
 # a filtered or partial CI invocation cannot skip it silently.
 cargo test -q --offline -p linarb-bench --test parallel_determinism
+
+echo "== online/offline oracle differential gate =="
+# Online DPLL(T) (warm theory inside the search, LBD clause-DB
+# reduction) vs the offline reference oracle: identical verdicts on
+# randomized formulas, incremental lockstep, pooled-conjunction
+# equivalence, and 1-vs-4-thread determinism with DB reduction on.
+# Repeated by name for the same cannot-skip-silently reason.
+cargo test -q --offline -p linarb-bench --test online_oracle_differential
 
 echo "== trace smoke (structured JSONL trace of one benchmark) =="
 # Solve a benchmark with tracing on, then validate that the emitted
