@@ -22,6 +22,7 @@
 //! `LINARB_SMOKE_TOLERANCE` (a factor, default 1.25) of the baseline —
 //! the tracing layer's disabled-overhead guard.
 
+use linarb_baselines::{InterpConfig, UnwindInterp};
 use linarb_bench::env_or;
 use linarb_smt::Budget;
 use linarb_solver::{CegarSolver, OracleMode, SolveResult, SolverConfig};
@@ -50,6 +51,17 @@ struct ModeRun {
     theory_backtracks: u64,
     db_reductions: u64,
     learned_db_size: usize,
+    /// Learner-phase breakdown: where `core.learner` time goes (SVM
+    /// iterations, decision-tree construction, rationalization) and
+    /// how much work symbolic seeding displaced.
+    svm_s: f64,
+    dtree_s: f64,
+    rationalize_s: f64,
+    seed_harvest_s: f64,
+    seeded_atoms: usize,
+    seed_hits: u64,
+    seeds_pruned: usize,
+    learn_memo_hits: usize,
 }
 
 fn run_mode(mode: OracleMode, suite: &[linarb_suite::Benchmark], timeout: Duration) -> ModeRun {
@@ -68,10 +80,34 @@ fn run_mode(mode: OracleMode, suite: &[linarb_suite::Benchmark], timeout: Durati
         theory_backtracks: 0,
         db_reductions: 0,
         learned_db_size: 0,
+        svm_s: 0.0,
+        dtree_s: 0.0,
+        rationalize_s: 0.0,
+        seed_harvest_s: 0.0,
+        seeded_atoms: 0,
+        seed_hits: 0,
+        seeds_pruned: 0,
+        learn_memo_hits: 0,
     };
     let scope = linarb_trace::MetricsScope::new();
     for b in suite {
-        let config = SolverConfig::default().with_oracle(mode);
+        // Symbolic seeding: a cheap bounded-unwinding interpolation
+        // pass donates its Farkas hyperplanes as candidate atoms. The
+        // budget is conflict-limited, not wall-clock, so the harvest
+        // (and hence the solver trajectory) is deterministic; its cost
+        // is accounted separately in `seed_harvest_s`. The unwinding
+        // must stay shallow: easy per-trace unsats barely touch the
+        // conflict pool, so on nonlinear systems (`program_c_fibo`)
+        // the solver-depth default of 28 × 512 traces runs for
+        // minutes — depth 4 already donates the useful directions.
+        let harvest_start = Instant::now();
+        let seed_budget = Budget::unlimited().with_global_conflict_limit(2_000);
+        let harvest_config =
+            InterpConfig { max_depth: 4, max_traces: 64, ..InterpConfig::default() };
+        let seed_atoms =
+            UnwindInterp::new(&b.system, harvest_config).harvest_seed_atoms(&seed_budget);
+        run.seed_harvest_s += harvest_start.elapsed().as_secs_f64();
+        let config = SolverConfig::default().with_oracle(mode).with_seed_atoms(seed_atoms);
         let mut solver = CegarSolver::new(&b.system, config);
         let start = Instant::now();
         let verdict = match solver.solve(&Budget::timeout(timeout)) {
@@ -91,6 +127,10 @@ fn run_mode(mode: OracleMode, suite: &[linarb_suite::Benchmark], timeout: Durati
         run.theory_backtracks += stats.theory_backtracks;
         run.db_reductions += stats.db_reductions;
         run.learned_db_size += stats.learned_db_size;
+        run.seeded_atoms += stats.seeded_atoms;
+        run.seed_hits += stats.seed_hits;
+        run.seeds_pruned += stats.seeds_pruned;
+        run.learn_memo_hits += stats.learn_memo_hits;
         run.per_bench.push((b.name.clone(), elapsed));
         eprintln!(
             "  {:24} {:8} {:>9.3}s  checks {:4} (skipped {:3})",
@@ -105,6 +145,9 @@ fn run_mode(mode: OracleMode, suite: &[linarb_suite::Benchmark], timeout: Durati
     run.oracle_s = report.timer_secs("core.oracle");
     run.learner_s = report.timer_secs("core.learner");
     run.sample_extraction_s = report.timer_secs("core.sample_extraction");
+    run.svm_s = report.timer_secs("ml.svm");
+    run.dtree_s = report.timer_secs("ml.dtree");
+    run.rationalize_s = report.timer_secs("ml.rationalize");
     run
 }
 
@@ -119,6 +162,8 @@ struct ThreadRun {
     par_checks: usize,
     par_discarded: usize,
     steals: u64,
+    seed_hits: u64,
+    learn_memo_hits: usize,
 }
 
 fn run_thread_sweep(
@@ -137,6 +182,8 @@ fn run_thread_sweep(
         par_checks: 0,
         par_discarded: 0,
         steals: 0,
+        seed_hits: 0,
+        learn_memo_hits: 0,
     };
     for b in suite {
         let config = SolverConfig::default()
@@ -159,6 +206,8 @@ fn run_thread_sweep(
         tr.par_checks += stats.par_checks;
         tr.par_discarded += stats.par_discarded;
         tr.steals += stats.steal_count;
+        tr.seed_hits += stats.seed_hits;
+        tr.learn_memo_hits += stats.learn_memo_hits;
     }
     eprintln!(
         "  threads {}: {:>9.3}s  batches {:4}  prechecks {:4} ({} discarded)  steals {}",
@@ -304,6 +353,14 @@ fn main() {
                 "trajectory diverged between 1 and {} threads",
                 tr.threads
             );
+            // Seeding bookkeeping is part of the trajectory too: hits
+            // and memo replays must not depend on the thread count.
+            assert_eq!(
+                (base.seed_hits, base.learn_memo_hits),
+                (tr.seed_hits, tr.learn_memo_hits),
+                "seed trajectory diverged between 1 and {} threads",
+                tr.threads
+            );
         }
     }
     let wall_4t = thread_runs
@@ -323,7 +380,10 @@ fn main() {
     let fresh_full = fresh.smt_checks - fresh.smt_checks_skipped;
     let inc_full = inc.smt_checks - inc.smt_checks_skipped;
     let speedup = fresh.wall.as_secs_f64() / inc.wall.as_secs_f64().max(1e-9);
-    let check_reduction = 1.0 - inc_full as f64 / fresh_full.max(1) as f64;
+    // Signed: positive = incremental ran *fewer* full checks than
+    // fresh, negative = more (it re-explores after context resets).
+    // See EXPERIMENTS.md for the sign convention.
+    let check_delta = 1.0 - inc_full as f64 / fresh_full.max(1) as f64;
 
     // Wall-time speedup over the commonly-solved subset. Instances
     // where *both* modes exhaust the budget contribute the same
@@ -370,6 +430,21 @@ fn main() {
             run.simplex_pivots, run.theory_backtracks, run.db_reductions, run.learned_db_size
         )
         .unwrap();
+        writeln!(
+            json,
+            "    \"learner_breakdown\": {{\"svm_s\": {:.3}, \"dtree_s\": {:.3}, \
+             \"rationalize_s\": {:.3}, \"seed_harvest_s\": {:.3}, \"seeded_atoms\": {}, \
+             \"seed_hits\": {}, \"seeds_pruned\": {}, \"learn_memo_hits\": {}}},",
+            run.svm_s,
+            run.dtree_s,
+            run.rationalize_s,
+            run.seed_harvest_s,
+            run.seeded_atoms,
+            run.seed_hits,
+            run.seeds_pruned,
+            run.learn_memo_hits
+        )
+        .unwrap();
         let times: Vec<String> = run
             .per_bench
             .iter()
@@ -382,7 +457,7 @@ fn main() {
     writeln!(json, "  \"incremental_solved\": {inc_solved},").unwrap();
     writeln!(json, "  \"speedup\": {speedup:.3},").unwrap();
     writeln!(json, "  \"solved_subset_speedup\": {solved_speedup:.3},").unwrap();
-    writeln!(json, "  \"full_check_reduction\": {check_reduction:.3},").unwrap();
+    writeln!(json, "  \"full_check_delta\": {check_delta:.3},").unwrap();
     writeln!(json, "  \"parallel\": {{").unwrap();
     let names: Vec<String> =
         par_suite.iter().map(|b| format!("\"{}\"", b.name)).collect();
@@ -441,8 +516,8 @@ fn main() {
     eprintln!(
         "speedup {solved_speedup:.2}x on the commonly-solved subset \
          ({speedup:.2}x on the full suite incl. double timeouts), \
-         full-check reduction {:.1}% -> {}",
-        check_reduction * 100.0,
+         full-check delta {:+.1}% -> {}",
+        check_delta * 100.0,
         path.display()
     );
 }

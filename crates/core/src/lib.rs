@@ -49,9 +49,10 @@
 
 use linarb_arith::BigInt;
 use linarb_logic::{
-    ChcSystem, Clause, ClauseHead, ClauseId, Formula, Interpretation, Model, PredId, Var,
+    Atom, ChcSystem, Clause, ClauseHead, ClauseId, Formula, Interpretation, LinExpr, Model,
+    PredId, Var,
 };
-use linarb_ml::{learn, Dataset, LearnConfig, LearnError, Sample};
+use linarb_ml::{learn, learn_seeded, Dataset, LearnConfig, LearnError, Sample, SeedPlane, SeedStore};
 use linarb_pool::Pool;
 use linarb_smt::{check_sat, Budget, IncrementalSolver, Lit, SmtResult};
 use linarb_trace::{event, CollectingSink, Event, Level, LocalSinkGuard, MetricsReport};
@@ -76,6 +77,25 @@ pub trait Learner: Send + Sync {
     /// the engine's hypothesis space is exhausted.
     fn learn(&self, data: &Dataset, params: &[Var]) -> Result<Formula, LearnError>;
 
+    /// [`learn`](Learner::learn) with symbolic seed planes offered as
+    /// first-try separators. Returns the formula plus the indices of
+    /// seeds used directly (for hit accounting). Engines that cannot
+    /// exploit seeds simply ignore them — the default delegates to
+    /// [`learn`](Learner::learn).
+    ///
+    /// # Errors
+    ///
+    /// As for [`learn`](Learner::learn).
+    fn learn_seeded(
+        &self,
+        data: &Dataset,
+        params: &[Var],
+        seeds: &[SeedPlane],
+    ) -> Result<(Formula, Vec<usize>), LearnError> {
+        let _ = seeds;
+        self.learn(data, params).map(|f| (f, Vec::new()))
+    }
+
     /// A short engine name for reports.
     fn name(&self) -> &str;
 }
@@ -91,6 +111,15 @@ pub struct MlLearner {
 impl Learner for MlLearner {
     fn learn(&self, data: &Dataset, params: &[Var]) -> Result<Formula, LearnError> {
         learn(data, params, &self.config).map(|(f, _)| f)
+    }
+
+    fn learn_seeded(
+        &self,
+        data: &Dataset,
+        params: &[Var],
+        seeds: &[SeedPlane],
+    ) -> Result<(Formula, Vec<usize>), LearnError> {
+        learn_seeded(data, params, &self.config, seeds).map(|(f, s)| (f, s.seed_hits))
     }
 
     fn name(&self) -> &str {
@@ -145,6 +174,18 @@ pub struct SolverConfig {
     /// and the outcomes are merged in deterministic frontier order
     /// (see DESIGN.md §10).
     pub threads: usize,
+    /// Symbolic seeding (DESIGN.md §12): harvest candidate separating
+    /// directions from clause syntax (and any attached hints/atoms),
+    /// offer them to the learner as first-try separators and extra
+    /// decision-tree features, and prune the ones unsat cores never
+    /// use. Defaults to on unless `LINARB_NO_SEED=1`. Purely a
+    /// heuristic accelerator: verdicts are unaffected.
+    pub seeding: bool,
+    /// Extra seed atoms in predicate parameter space, injected by the
+    /// caller (e.g. interpolants harvested by the bench harness from
+    /// `linarb-baselines`, which the core crate cannot depend on).
+    /// Ignored when `seeding` is off.
+    pub seed_atoms: Vec<(PredId, Atom)>,
 }
 
 /// The `LINARB_THREADS` default for [`SolverConfig::threads`].
@@ -156,6 +197,11 @@ fn threads_from_env() -> usize {
         .unwrap_or(1)
 }
 
+/// The `LINARB_NO_SEED` default for [`SolverConfig::seeding`].
+fn seeding_from_env() -> bool {
+    !std::env::var("LINARB_NO_SEED").is_ok_and(|s| s.trim() == "1")
+}
+
 impl SolverConfig {
     /// The paper's configuration with a custom learning pipeline.
     pub fn with_learn_config(learn: LearnConfig) -> SolverConfig {
@@ -165,6 +211,8 @@ impl SolverConfig {
             oracle: OracleMode::default(),
             oracle_reset: false,
             threads: threads_from_env(),
+            seeding: seeding_from_env(),
+            seed_atoms: Vec::new(),
         }
     }
 
@@ -176,6 +224,8 @@ impl SolverConfig {
             oracle: OracleMode::default(),
             oracle_reset: false,
             threads: threads_from_env(),
+            seeding: seeding_from_env(),
+            seed_atoms: Vec::new(),
         }
     }
 
@@ -197,6 +247,21 @@ impl SolverConfig {
         self.threads = threads.max(1);
         self
     }
+
+    /// Enables or disables symbolic seeding (see
+    /// [`SolverConfig::seeding`]). Tests use this instead of the
+    /// process-global `LINARB_NO_SEED` variable.
+    pub fn with_seeding(mut self, seeding: bool) -> SolverConfig {
+        self.seeding = seeding;
+        self
+    }
+
+    /// Injects caller-provided seed atoms (see
+    /// [`SolverConfig::seed_atoms`]).
+    pub fn with_seed_atoms(mut self, atoms: Vec<(PredId, Atom)>) -> SolverConfig {
+        self.seed_atoms = atoms;
+        self
+    }
 }
 
 impl Default for SolverConfig {
@@ -209,12 +274,14 @@ impl fmt::Debug for SolverConfig {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "SolverConfig {{ learner: {}, max_iterations: {}, oracle: {:?}, oracle_reset: {}, threads: {} }}",
+            "SolverConfig {{ learner: {}, max_iterations: {}, oracle: {:?}, oracle_reset: {}, threads: {}, seeding: {}, seed_atoms: {} }}",
             self.learner.name(),
             self.max_iterations,
             self.oracle,
             self.oracle_reset,
-            self.threads
+            self.threads,
+            self.seeding,
+            self.seed_atoms.len()
         )
     }
 }
@@ -386,6 +453,17 @@ pub struct SolveStats {
     /// from determinism comparisons for the same reason as
     /// `simplex_pivots`.
     pub learned_db_size: usize,
+    /// Symbolic seed planes harvested into the seed store (0 with
+    /// seeding off).
+    pub seeded_atoms: usize,
+    /// Times the learner used a seed plane directly in place of a
+    /// classifier run.
+    pub seed_hits: u64,
+    /// Seed planes retired by unsat-core pruning.
+    pub seeds_pruned: usize,
+    /// Learner invocations answered from the memo (dataset and seed
+    /// store unchanged since the predicate's last learn).
+    pub learn_memo_hits: usize,
 }
 
 impl SolveStats {
@@ -408,6 +486,10 @@ impl SolveStats {
         report.set_counter("core.theory_backtracks", self.theory_backtracks);
         report.set_counter("core.db_reductions", self.db_reductions);
         report.set_counter("core.learned_db_size", self.learned_db_size as u64);
+        report.set_counter("core.seeded_atoms", self.seeded_atoms as u64);
+        report.set_counter("core.seed_hits", self.seed_hits);
+        report.set_counter("core.seeds_pruned", self.seeds_pruned as u64);
+        report.set_counter("core.learn_memo_hits", self.learn_memo_hits as u64);
     }
 
     /// The statistics as a standalone JSON report.
@@ -431,6 +513,12 @@ impl SolveStats {
 struct ClauseContext {
     solver: IncrementalSolver,
     guards: HashMap<Formula, Lit>,
+    /// Per-guard seed bookkeeping: the predicate whose interpretation
+    /// the guarded piece instantiates, and the parameter-space
+    /// directions of that interpretation's atoms. Consulted after an
+    /// `Unsat` answer to tell core-relevant directions from dead
+    /// weight (empty when seeding is off).
+    guard_dirs: HashMap<Lit, Vec<(PredId, Vec<BigInt>)>>,
     /// The countermodel from the last invalid check: re-evaluated
     /// before the next check, and if it still witnesses invalidity the
     /// oracle is skipped entirely.
@@ -445,7 +533,12 @@ impl ClauseContext {
         if let ClauseHead::Goal(g) = &clause.head {
             solver.assert_permanent(&Formula::not(g.clone()));
         }
-        ClauseContext { solver, guards: HashMap::new(), last_countermodel: None }
+        ClauseContext {
+            solver,
+            guards: HashMap::new(),
+            guard_dirs: HashMap::new(),
+            last_countermodel: None,
+        }
     }
 }
 
@@ -457,6 +550,12 @@ struct CheckDelta {
     smt_checks: usize,
     smt_checks_skipped: usize,
     ctx_reuse_hits: usize,
+    /// Unsat-core observations for the seed store, in deterministic
+    /// guard order: `(pred, direction, appeared_in_core)` for every
+    /// direction behind an active guard of an `Unsat` answer. Applied
+    /// at merge time (frontier order), so seed pruning is identical at
+    /// every thread count.
+    core_notes: Vec<(PredId, Vec<BigInt>, bool)>,
 }
 
 /// Everything a speculative pre-check task sends back to the merge
@@ -503,6 +602,7 @@ fn oracle_check(
     clause: &Clause,
     mode: OracleMode,
     reset_decisions: bool,
+    collect_cores: bool,
     ctx_slot: &mut Option<ClauseContext>,
     budget: &Budget,
     delta: &mut CheckDelta,
@@ -513,9 +613,16 @@ fn oracle_check(
     delta.smt_checks += 1;
     let result = match mode {
         OracleMode::Fresh => check_sat(&sys.validity_check(clause, interp), budget),
-        OracleMode::Incremental => {
-            oracle_check_incremental(sys, interp, clause, reset_decisions, ctx_slot, budget, delta)
-        }
+        OracleMode::Incremental => oracle_check_incremental(
+            sys,
+            interp,
+            clause,
+            reset_decisions,
+            collect_cores,
+            ctx_slot,
+            budget,
+            delta,
+        ),
     };
     if span.active() {
         span.record("clause", clause.id.0);
@@ -524,11 +631,13 @@ fn oracle_check(
     result
 }
 
+#[allow(clippy::too_many_arguments)]
 fn oracle_check_incremental(
     sys: &ChcSystem,
     interp: &Interpretation,
     clause: &Clause,
     reset_decisions: bool,
+    collect_cores: bool,
     ctx_slot: &mut Option<ClauseContext>,
     budget: &Budget,
     delta: &mut CheckDelta,
@@ -562,31 +671,39 @@ fn oracle_check_incremental(
     // activation literals, encoding only pieces this context has
     // never seen.
     let mut active: Vec<Lit> = Vec::new();
-    let mut add_piece = |piece: Formula, ctx: &mut ClauseContext, hits: &mut usize| {
-        if matches!(piece, Formula::True) {
-            return;
-        }
-        match ctx.guards.get(&piece) {
-            Some(&g) => {
-                *hits += 1;
-                active.push(g);
+    let mut add_piece =
+        |piece: Formula, dirs: Vec<(PredId, Vec<BigInt>)>, ctx: &mut ClauseContext, hits: &mut usize| {
+            if matches!(piece, Formula::True) {
+                return;
             }
-            None => {
-                let g = ctx.solver.push_guarded(&piece);
-                ctx.guards.insert(piece, g);
-                active.push(g);
+            match ctx.guards.get(&piece) {
+                Some(&g) => {
+                    *hits += 1;
+                    active.push(g);
+                }
+                None => {
+                    let g = ctx.solver.push_guarded(&piece);
+                    ctx.guards.insert(piece, g);
+                    if !dirs.is_empty() {
+                        ctx.guard_dirs.insert(g, dirs);
+                    }
+                    active.push(g);
+                }
             }
-        }
-    };
+        };
     for app in &clause.body_preds {
         let f = ChcSystem::interp_of(interp, app.pred);
-        let piece = app.instantiate(f, &sys.pred(app.pred).params);
-        add_piece(piece, ctx, &mut delta.ctx_reuse_hits);
+        let params = &sys.pred(app.pred).params;
+        let dirs = if collect_cores { param_dirs(f, params, app.pred) } else { Vec::new() };
+        let piece = app.instantiate(f, params);
+        add_piece(piece, dirs, ctx, &mut delta.ctx_reuse_hits);
     }
     if let ClauseHead::Pred(app) = &clause.head {
         let f = ChcSystem::interp_of(interp, app.pred);
-        let piece = Formula::not(app.instantiate(f, &sys.pred(app.pred).params));
-        add_piece(piece, ctx, &mut delta.ctx_reuse_hits);
+        let params = &sys.pred(app.pred).params;
+        let dirs = if collect_cores { param_dirs(f, params, app.pred) } else { Vec::new() };
+        let piece = Formula::not(app.instantiate(f, params));
+        add_piece(piece, dirs, ctx, &mut delta.ctx_reuse_hits);
     }
     let result = ctx.solver.check(&active, budget);
     if let SmtResult::Sat(m) = &result {
@@ -596,7 +713,99 @@ fn oracle_check_incremental(
         );
         ctx.last_countermodel = Some(m.clone());
     }
+    if collect_cores && result.is_unsat() {
+        // Every direction behind an active guard "reached the oracle"
+        // in this refutation; the ones whose guard made the final
+        // conflict are core-useful. Guard order (body, then head) keeps
+        // the notes deterministic.
+        let core = ctx.solver.last_unsat_core();
+        for g in &active {
+            if let Some(dirs) = ctx.guard_dirs.get(g) {
+                let useful = core.contains(g);
+                for (pred, dir) in dirs {
+                    delta.core_notes.push((*pred, dir.clone(), useful));
+                }
+            }
+        }
+    }
     result
+}
+
+/// The parameter-space directions of a predicate interpretation's
+/// atoms, tagged with the predicate — the currency of unsat-core seed
+/// accounting. Atoms mentioning non-parameter variables (none in
+/// practice) are skipped.
+fn param_dirs(f: &Formula, params: &[Var], pred: PredId) -> Vec<(PredId, Vec<BigInt>)> {
+    f.atoms()
+        .iter()
+        .filter_map(|a| {
+            let expr = a.expr();
+            if expr.vars().any(|v| !params.contains(&v)) {
+                return None;
+            }
+            let dir: Vec<BigInt> = params.iter().map(|v| expr.coeff(*v)).collect();
+            dir.iter().any(|c| !c.is_zero()).then_some((pred, dir))
+        })
+        .collect()
+}
+
+/// Returns the variable of a single-variable, unit-coefficient,
+/// constant-free argument term, or `None` for anything richer.
+fn plain_var(e: &LinExpr) -> Option<Var> {
+    if !e.constant_term().is_zero() {
+        return None;
+    }
+    let mut terms = e.terms();
+    match (terms.next(), terms.next()) {
+        (Some((v, c)), None) if c.is_one() => Some(v),
+        _ => None,
+    }
+}
+
+/// Harvests seed directions from the clauses themselves: for every
+/// predicate application whose arguments include plain variables, each
+/// atom of the clause constraint (and of the goal, for queries) over
+/// those variables is a candidate separating direction in the
+/// predicate's parameter space. Loop guards, initialization equalities
+/// and safety properties all surface here.
+fn harvest_clause_seeds(sys: &ChcSystem, seeds: &mut SeedStore) {
+    for clause in sys.clauses() {
+        let mut atoms: Vec<Atom> = clause.constraint.atoms();
+        if let ClauseHead::Goal(g) = &clause.head {
+            atoms.extend(g.atoms());
+        }
+        if atoms.is_empty() {
+            continue;
+        }
+        let head_app = match &clause.head {
+            ClauseHead::Pred(app) => Some(app),
+            ClauseHead::Goal(_) => None,
+        };
+        for app in clause.body_preds.iter().chain(head_app) {
+            // Map clause variables to the argument positions they
+            // occupy (first occurrence wins).
+            let mut pos: HashMap<Var, usize> = HashMap::new();
+            for (i, arg) in app.args.iter().enumerate() {
+                if let Some(v) = plain_var(arg) {
+                    pos.entry(v).or_insert(i);
+                }
+            }
+            if pos.is_empty() {
+                continue;
+            }
+            for a in &atoms {
+                let expr = a.expr();
+                if expr.vars().any(|v| !pos.contains_key(&v)) {
+                    continue;
+                }
+                let mut dir = vec![BigInt::zero(); app.args.len()];
+                for (v, &i) in &pos {
+                    dir[i] = expr.coeff(*v);
+                }
+                seeds.add_dir(app.pred, dir);
+            }
+        }
+    }
 }
 
 /// The data-driven CHC solver.
@@ -615,6 +824,15 @@ pub struct CegarSolver<'a> {
     contexts: HashMap<ClauseId, ClauseContext>,
     pool: Pool,
     stats: SolveStats,
+    /// Symbolic seed planes per predicate (empty when seeding is off).
+    seeds: SeedStore,
+    /// Per-predicate learn memo: the key identifying the inputs of the
+    /// last learner run — `(num_positive, neg_epoch, num_negative,
+    /// seed version)`; both sample classes are append-only within a
+    /// negative epoch, so matching keys mean identical datasets — and
+    /// its result. One entry per predicate suffices: keys never
+    /// revisit an earlier state.
+    learn_memo: HashMap<PredId, ((usize, u64, usize, u64), Formula)>,
 }
 
 impl<'a> CegarSolver<'a> {
@@ -626,6 +844,19 @@ impl<'a> CegarSolver<'a> {
             .map(|p| (p.id, Dataset::new(p.arity())))
             .collect();
         let pool = Pool::new(config.threads.max(1));
+        let mut seeds = SeedStore::new();
+        if config.seeding {
+            harvest_clause_seeds(sys, &mut seeds);
+            for (p, dir) in sys.seed_hints() {
+                if dir.len() == sys.pred(*p).params.len() {
+                    seeds.add_dir(*p, dir.clone());
+                }
+            }
+            for (p, atom) in &config.seed_atoms {
+                seeds.add_atom(*p, atom, &sys.pred(*p).params);
+            }
+            seeds.combine_pairs();
+        }
         CegarSolver {
             sys,
             config,
@@ -635,6 +866,8 @@ impl<'a> CegarSolver<'a> {
             contexts: HashMap::new(),
             pool,
             stats: SolveStats::default(),
+            seeds,
+            learn_memo: HashMap::new(),
         }
     }
 
@@ -698,6 +931,14 @@ impl<'a> CegarSolver<'a> {
             if budget.exhausted() {
                 self.finalize_stats();
                 return SolveResult::Unknown(UnknownReason::Timeout);
+            }
+            // Round boundary: retire seed planes the oracle has
+            // repeatedly judged irrelevant (never in an unsat core).
+            // Purely counter-based — a trait of the trajectory, not
+            // the clock — so pruning happens at the same iteration at
+            // every thread count.
+            if self.config.seeding {
+                self.seeds.prune_dead();
             }
             let frontier: Vec<ClauseId> = dirty.drain(..).collect();
             // Note: `dirty_set` keeps the frontier clauses until each
@@ -846,6 +1087,7 @@ impl<'a> CegarSolver<'a> {
         // neither is on, tasks skip capture entirely.
         let level = linarb_trace::effective_level();
         let metrics_on = linarb_trace::metrics::metrics_enabled();
+        let seeding = self.config.seeding;
         let outcomes = self.pool.parallel_map(inputs, move |(cid, slot)| {
             let clause = sys.clause(cid);
             // Snapshot the context on the worker (clones in parallel)
@@ -862,7 +1104,8 @@ impl<'a> CegarSolver<'a> {
                     .map(|s| LocalSinkGuard::install(Box::new(s), level));
                 let scope = metrics_on.then(linarb_trace::MetricsScope::new);
                 let r = oracle_check(
-                    sys, interp, clause, mode, reset, &mut slot, budget, &mut delta,
+                    sys, interp, clause, mode, reset, seeding, &mut slot, budget,
+                    &mut delta,
                 );
                 if let Some(s) = &sink {
                     events = s.take();
@@ -885,11 +1128,18 @@ impl<'a> CegarSolver<'a> {
         outcomes.into_iter().map(Some).collect()
     }
 
-    /// Folds a worker task's statistics into the solver's.
+    /// Folds a worker task's statistics into the solver's. Unsat-core
+    /// notes flow through here too, so seed usefulness bookkeeping
+    /// only ever sees *consumed* checks, in merge order — discarded
+    /// speculation leaves the [`SeedStore`] untouched, keeping the
+    /// seed trajectory identical at every thread count.
     fn apply_delta(&mut self, delta: &CheckDelta) {
         self.stats.smt_checks += delta.smt_checks;
         self.stats.smt_checks_skipped += delta.smt_checks_skipped;
         self.stats.ctx_reuse_hits += delta.ctx_reuse_hits;
+        for (p, dir, useful) in &delta.core_notes {
+            self.seeds.note_core(*p, dir, *useful);
+        }
     }
 
     fn finalize_stats(&mut self) {
@@ -922,6 +1172,9 @@ impl<'a> CegarSolver<'a> {
             .map(|c| c.solver.learned_db_size())
             .sum();
         self.stats.steal_count = self.pool.steal_count();
+        self.stats.seeded_atoms = self.seeds.total_added();
+        self.stats.seed_hits = self.seeds.total_hits();
+        self.stats.seeds_pruned = self.seeds.total_pruned();
     }
 
     /// One SMT validity check of `clause` under the current
@@ -936,6 +1189,7 @@ impl<'a> CegarSolver<'a> {
             clause,
             self.config.oracle,
             self.config.oracle_reset,
+            self.config.seeding,
             &mut slot,
             budget,
             &mut delta,
@@ -1037,9 +1291,42 @@ impl<'a> CegarSolver<'a> {
             }
             for p in &changed {
                 let pred = self.sys.pred(*p);
+                let ds = &self.data[p];
+                // The learner is a pure function of (positives,
+                // negative epoch, negatives, seed planes): positives
+                // only grow, negatives only grow within an epoch
+                // (`clear_negatives` bumps the epoch), and seed
+                // mutations bump the per-predicate seed version — so
+                // this key uniquely identifies the learner's input and
+                // a matching memo entry can be replayed verbatim.
+                let key = (
+                    ds.num_positive(),
+                    ds.neg_epoch(),
+                    ds.num_negative(),
+                    self.seeds.version(*p),
+                );
+                if let Some((k, f)) = self.learn_memo.get(p) {
+                    if *k == key {
+                        self.stats.learn_memo_hits += 1;
+                        self.interp.insert(*p, f.clone());
+                        continue;
+                    }
+                }
                 self.stats.learn_calls += 1;
-                match self.config.learner.learn(&self.data[p], &pred.params) {
-                    Ok(f) => {
+                let learned = {
+                    let planes: &[SeedPlane] = if self.config.seeding {
+                        self.seeds.planes(*p)
+                    } else {
+                        &[]
+                    };
+                    self.config.learner.learn_seeded(ds, &pred.params, planes)
+                };
+                match learned {
+                    Ok((f, hits)) => {
+                        for i in hits {
+                            self.seeds.note_hit(*p, i);
+                        }
+                        self.learn_memo.insert(*p, (key, f.clone()));
                         self.interp.insert(*p, f);
                     }
                     Err(LearnError::ContradictorySamples(s)) => {

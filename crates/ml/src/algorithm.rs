@@ -15,7 +15,11 @@
 //! consistent dataset.
 
 use crate::dataset::{Dataset, Sample};
-use crate::linear::{linear_classify, refit_intercept, ClassifierKind, Hyperplane, SvmParams};
+use crate::linear::{
+    linear_classify_warm, refit_intercept, refit_intercept_scored, ClassifierKind, Hyperplane,
+    SvmParams,
+};
+use crate::seed::SeedPlane;
 use linarb_arith::BigInt;
 use linarb_logic::{Atom, Formula, LinExpr, Var};
 
@@ -65,6 +69,19 @@ pub struct LearnConfig {
     pub mod_features: Vec<u64>,
     /// RNG seed, for reproducible runs.
     pub seed: u64,
+    /// Symbolic seeds: let the `LinearArbitrary` recursion use a
+    /// perfectly-scoring seed plane *directly* in place of a
+    /// classifier run. Ignored when no seeds are supplied.
+    pub seed_direct: bool,
+    /// Symbolic seeds: warm-start the SVM from the best-scoring seed
+    /// direction when none qualifies for direct use. Off by default:
+    /// empirically the warm-started walk converges to sample-hugging
+    /// planes whose rationalizations derail the CEGAR trajectory
+    /// (`jm2006` stops converging with this on).
+    pub seed_warm: bool,
+    /// Symbolic seeds: offer seed directions to the decision tree as
+    /// extra feature attributes.
+    pub seed_dt_features: bool,
 }
 
 impl Default for LearnConfig {
@@ -75,6 +92,9 @@ impl Default for LearnConfig {
             use_decision_tree: true,
             mod_features: vec![2],
             seed: 0x11AB,
+            seed_direct: true,
+            seed_warm: false,
+            seed_dt_features: true,
         }
     }
 }
@@ -124,6 +144,25 @@ pub fn linear_arbitrary(
     params: &[Var],
     config: &LearnConfig,
 ) -> Result<Formula, LearnError> {
+    let mut hits = Vec::new();
+    linear_arbitrary_seeded(data, params, config, &[], &mut hits)
+}
+
+/// [`linear_arbitrary`] with a symbolic seed fast path: at every
+/// recursion level, the seed directions are scored by an exact
+/// intercept refit first. A seed that separates the level's samples
+/// perfectly — or captures every positive while excluding at least one
+/// negative (guaranteed conjunctive progress, the shape of
+/// equality-style invariants) — replaces the classifier run outright;
+/// otherwise the best-scoring seed warm-starts the SVM. Indices of
+/// directly-used seeds are appended to `hits`.
+pub fn linear_arbitrary_seeded(
+    data: &Dataset,
+    params: &[Var],
+    config: &LearnConfig,
+    seeds: &[SeedPlane],
+    hits: &mut Vec<usize>,
+) -> Result<Formula, LearnError> {
     assert_eq!(params.len(), data.dim(), "one parameter per dimension");
     if let Some(s) = data.first_contradiction() {
         return Err(LearnError::ContradictorySamples(s.clone()));
@@ -134,8 +173,34 @@ pub fn linear_arbitrary(
         data.negatives(),
         params,
         config,
+        seeds,
+        hits,
         depth_guard,
     )
+}
+
+/// Scores every seed direction by exact refit; returns the best as
+/// `(index, hyperplane, errors, pos_errors)`. Deterministic: strict
+/// improvement in error count, first index wins ties, early exit on a
+/// perfect separator.
+fn best_seed(
+    seeds: &[SeedPlane],
+    pos: &[Sample],
+    neg: &[Sample],
+) -> Option<(usize, Hyperplane, usize, usize)> {
+    let mut best: Option<(usize, Hyperplane, usize, usize)> = None;
+    for (i, sp) in seeds.iter().enumerate() {
+        if let Some((h, errors, pos_errors)) = refit_intercept_scored(sp.dir(), pos, neg) {
+            if best.as_ref().map_or(true, |(_, _, e, _)| errors < *e) {
+                let perfect = errors == 0;
+                best = Some((i, h, errors, pos_errors));
+                if perfect {
+                    break;
+                }
+            }
+        }
+    }
+    best
 }
 
 fn la_rec(
@@ -143,6 +208,8 @@ fn la_rec(
     neg: &[Sample],
     params: &[Var],
     config: &LearnConfig,
+    seeds: &[SeedPlane],
+    hits: &mut Vec<usize>,
     fuel: usize,
 ) -> Result<Formula, LearnError> {
     if pos.is_empty() {
@@ -155,13 +222,29 @@ fn la_rec(
         return Err(LearnError::DepthExceeded);
     }
 
-    let mut hp = linear_classify(
-        config.classifier,
-        &config.svm,
-        pos,
-        neg,
-        config.seed ^ fuel as u64,
-    );
+    let mut warm: Option<&[BigInt]> = None;
+    let mut hp: Option<Hyperplane> = None;
+    if !seeds.is_empty() && (config.seed_direct || config.seed_warm) {
+        if let Some((i, h, errors, pos_errors)) = best_seed(seeds, pos, neg) {
+            if config.seed_direct && (errors == 0 || (pos_errors == 0 && errors < neg.len())) {
+                hits.push(i);
+                hp = Some(h);
+            } else if config.seed_warm {
+                warm = Some(seeds[i].dir());
+            }
+        }
+    }
+    let mut hp = match hp {
+        Some(h) => Some(h),
+        None => linear_classify_warm(
+            config.classifier,
+            &config.svm,
+            pos,
+            neg,
+            config.seed ^ fuel as u64,
+            warm,
+        ),
+    };
     let mut split = hp.as_ref().map(|h| partition(h, pos, neg));
     // Progress guard: the hyperplane must capture at least one
     // positive, and must not classify everything as positive.
@@ -185,12 +268,12 @@ fn la_rec(
     if !bad_neg.is_empty() {
         // line 5-6: conjoin a classifier separating the captured
         // positives from the misclassified negatives.
-        let sub = la_rec(&ok_pos, &bad_neg, params, config, fuel - 1)?;
+        let sub = la_rec(&ok_pos, &bad_neg, params, config, seeds, hits, fuel - 1)?;
         phi = Formula::and(vec![phi, sub]);
     }
     if !bad_pos.is_empty() {
         // line 7-8: disjoin a classifier for the missed positives.
-        let sub = la_rec(&bad_pos, neg, params, config, fuel - 1)?;
+        let sub = la_rec(&bad_pos, neg, params, config, seeds, hits, fuel - 1)?;
         phi = Formula::or(vec![phi, sub]);
     }
     Ok(phi)

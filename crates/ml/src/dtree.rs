@@ -11,7 +11,6 @@
 use crate::dataset::{Dataset, Sample};
 use linarb_arith::BigInt;
 use linarb_logic::{Atom, Formula, LinExpr, ModAtom, Var};
-use std::collections::BTreeSet;
 use std::fmt;
 
 /// An integer-valued feature attribute.
@@ -186,75 +185,128 @@ pub fn information_gain(
 /// Learns a decision tree that classifies `data` perfectly using the
 /// given features, or `None` if the features cannot distinguish some
 /// positive from some negative sample.
+///
+/// Every feature is evaluated on every sample exactly once up front;
+/// node splits work on cached projections and a per-feature sorted
+/// sample order, so each node's threshold scan is a single sweep
+/// instead of the former per-candidate `Feature::eval` rescans (the
+/// learner-phase hot spot once the feature set grows with seeds).
 pub fn dt_learn(data: &Dataset, features: &[Feature]) -> Option<DecisionTree> {
-    let pos: Vec<&Sample> = data.positives().iter().collect();
-    let neg: Vec<&Sample> = data.negatives().iter().collect();
-    build(&pos, &neg, features)
+    use linarb_trace::Level;
+    let mut span = linarb_trace::span(Level::Debug, "ml", "ml.dtree");
+    let n_pos = data.num_positive();
+    let samples: Vec<&Sample> = data
+        .positives()
+        .iter()
+        .chain(data.negatives().iter())
+        .collect();
+    let n = samples.len();
+    if span.active() {
+        span.record("samples", n);
+        span.record("features", features.len());
+    }
+    let vals: Vec<Vec<BigInt>> = features
+        .iter()
+        .map(|f| samples.iter().map(|s| f.eval(s)).collect())
+        .collect();
+    // Stable sort: ties keep sample order, so the sweep's candidate
+    // enumeration is deterministic.
+    let orders: Vec<Vec<u32>> = vals
+        .iter()
+        .map(|col| {
+            let mut idx: Vec<u32> = (0..n as u32).collect();
+            idx.sort_by(|&a, &b| col[a as usize].cmp(&col[b as usize]));
+            idx
+        })
+        .collect();
+    let members: Vec<u32> = (0..n as u32).collect();
+    let mut mask = vec![false; n];
+    build(&members, n_pos, &vals, &orders, &mut mask)
 }
 
-fn build(pos: &[&Sample], neg: &[&Sample], features: &[Feature]) -> Option<DecisionTree> {
-    if neg.is_empty() {
+fn build(
+    members: &[u32],
+    n_pos: usize,
+    vals: &[Vec<BigInt>],
+    orders: &[Vec<u32>],
+    mask: &mut [bool],
+) -> Option<DecisionTree> {
+    // Samples are indexed globally: positives first, negatives after.
+    let pos_cnt = members.iter().filter(|&&i| (i as usize) < n_pos).count();
+    let neg_cnt = members.len() - pos_cnt;
+    if neg_cnt == 0 {
         return Some(DecisionTree::Leaf(true));
     }
-    if pos.is_empty() {
+    if pos_cnt == 0 {
         return Some(DecisionTree::Leaf(false));
     }
-    // Pick the (feature, threshold) with maximal information gain.
-    let mut best: Option<(f64, usize, BigInt)> = None;
-    for (fi, f) in features.iter().enumerate() {
-        // candidate thresholds: distinct feature values except the max
-        let mut values: BTreeSet<BigInt> = BTreeSet::new();
-        for s in pos.iter().chain(neg.iter()) {
-            values.insert(f.eval(s));
-        }
-        if values.len() < 2 {
-            continue;
-        }
-        let max = values.iter().next_back().cloned();
-        for c in values {
-            if Some(&c) == max.as_ref() {
-                break;
+    // Pick the (feature, threshold) with maximal information gain:
+    // walk this node's members in each feature's global value order,
+    // evaluating a candidate at every distinct value except the last
+    // (same candidate set and tie-breaks as the naive scan).
+    for &i in members {
+        mask[i as usize] = true;
+    }
+    let mut best: Option<(f64, usize, &BigInt)> = None;
+    for (fi, order) in orders.iter().enumerate() {
+        let col = &vals[fi];
+        let (mut pos_le, mut neg_le) = (0usize, 0usize);
+        let mut group_val: Option<&BigInt> = None;
+        for &si in order {
+            let s = si as usize;
+            if !mask[s] {
+                continue;
             }
-            let pos_le = pos.iter().filter(|s| f.eval(s) <= c).count();
-            let neg_le = neg.iter().filter(|s| f.eval(s) <= c).count();
-            let gain =
-                information_gain(pos_le, neg_le, pos.len() - pos_le, neg.len() - neg_le);
-            let better = match &best {
-                None => true,
-                Some((g, _, _)) => gain > *g + 1e-12,
-            };
-            if better {
-                best = Some((gain, fi, c));
+            let v = &col[s];
+            if let Some(gv) = group_val {
+                if v != gv {
+                    let gain = information_gain(
+                        pos_le,
+                        neg_le,
+                        pos_cnt - pos_le,
+                        neg_cnt - neg_le,
+                    );
+                    let better = match &best {
+                        None => true,
+                        Some((g, _, _)) => gain > *g + 1e-12,
+                    };
+                    if better {
+                        best = Some((gain, fi, gv));
+                    }
+                    group_val = Some(v);
+                }
+            } else {
+                group_val = Some(v);
+            }
+            if s < n_pos {
+                pos_le += 1;
+            } else {
+                neg_le += 1;
             }
         }
+    }
+    for &i in members {
+        mask[i as usize] = false;
     }
     let (gain, fi, c) = best?;
     if gain <= 1e-12 {
         // No split makes progress: features cannot separate the data.
         return None;
     }
-    let f = &features[fi];
-    let (mut pos_le, mut pos_gt, mut neg_le, mut neg_gt) =
-        (Vec::new(), Vec::new(), Vec::new(), Vec::new());
-    for s in pos {
-        if f.eval(s) <= c {
-            pos_le.push(*s);
+    let threshold = c.clone();
+    let (mut m_le, mut m_gt) = (Vec::new(), Vec::new());
+    for &i in members {
+        if vals[fi][i as usize] <= threshold {
+            m_le.push(i);
         } else {
-            pos_gt.push(*s);
+            m_gt.push(i);
         }
     }
-    for s in neg {
-        if f.eval(s) <= c {
-            neg_le.push(*s);
-        } else {
-            neg_gt.push(*s);
-        }
-    }
-    let then = build(&pos_le, &neg_le, features)?;
-    let els = build(&pos_gt, &neg_gt, features)?;
+    let then = build(&m_le, n_pos, vals, orders, mask)?;
+    let els = build(&m_gt, n_pos, vals, orders, mask)?;
     Some(DecisionTree::Node {
         feature: fi,
-        threshold: c,
+        threshold,
         then: Box::new(then),
         els: Box::new(els),
     })

@@ -8,9 +8,10 @@
 //! returned formula is valid on every positive and invalid on every
 //! negative sample.
 
-use crate::algorithm::{linear_arbitrary, LearnConfig, LearnError};
+use crate::algorithm::{linear_arbitrary_seeded, LearnConfig, LearnError};
 use crate::dataset::Dataset;
 use crate::dtree::{dt_learn, Feature};
+use crate::seed::SeedPlane;
 use linarb_arith::BigInt;
 use linarb_logic::{Formula, Var};
 
@@ -25,6 +26,12 @@ pub struct LearnStats {
     pub dt_used: bool,
     /// Node count of the decision tree (0 when unused).
     pub dt_size: usize,
+    /// Seed-store indices of symbolic seeds the recursion used
+    /// directly in place of a classifier run (may repeat).
+    pub seed_hits: Vec<usize>,
+    /// Seed directions added to the decision tree's feature set (not
+    /// already present among the learned atoms).
+    pub seeded_features: usize,
 }
 
 /// Learns a classifier for `data` as a formula over `params`
@@ -54,20 +61,37 @@ pub fn learn(
     params: &[Var],
     config: &LearnConfig,
 ) -> Result<(Formula, LearnStats), LearnError> {
+    learn_seeded(data, params, config, &[])
+}
+
+/// [`learn`] with a set of symbolic seed planes: the `LinearArbitrary`
+/// recursion tries each seed as a first-choice separator (recording
+/// direct uses in `LearnStats::seed_hits`), and every seed direction is
+/// offered to the decision tree as an extra feature attribute.
+///
+/// With `seeds` empty this is exactly [`learn`].
+pub fn learn_seeded(
+    data: &Dataset,
+    params: &[Var],
+    config: &LearnConfig,
+    seeds: &[SeedPlane],
+) -> Result<(Formula, LearnStats), LearnError> {
     use linarb_trace::Level;
     let mut span = linarb_trace::span(Level::Debug, "ml", "ml.learn");
     if !span.active() {
-        return learn_inner(data, params, config);
+        return learn_inner(data, params, config, seeds);
     }
     span.record("pos", data.num_positive());
     span.record("neg", data.num_negative());
     span.record("dims", params.len());
-    let result = learn_inner(data, params, config);
+    span.record("seeds", seeds.len());
+    let result = learn_inner(data, params, config, seeds);
     match &result {
         Ok((_, stats)) => {
             span.record("la_atoms", stats.la_atoms);
             span.record("dt_used", stats.dt_used);
             span.record("dt_size", stats.dt_size);
+            span.record("seed_hits", stats.seed_hits.len());
         }
         Err(_) => span.record("error", true),
     }
@@ -78,6 +102,7 @@ fn learn_inner(
     data: &Dataset,
     params: &[Var],
     config: &LearnConfig,
+    seeds: &[SeedPlane],
 ) -> Result<(Formula, LearnStats), LearnError> {
     use linarb_trace::{event, Level};
     let mut stats = LearnStats::default();
@@ -89,7 +114,7 @@ fn learn_inner(
         return Ok((Formula::True, stats));
     }
 
-    let phi = linear_arbitrary(data, params, config)?;
+    let phi = linear_arbitrary_seeded(data, params, config, seeds, &mut stats.seed_hits)?;
     let la_atoms = phi.atoms();
     stats.la_atoms = la_atoms.len();
     if !config.use_decision_tree {
@@ -104,6 +129,18 @@ fn learn_inner(
             let f = Feature::Linear(w);
             if !features.contains(&f) {
                 features.push(f);
+            }
+        }
+    }
+    // …plus the symbolic seed directions the recursion did not emit…
+    if config.seed_dt_features {
+        for s in seeds {
+            if s.dir().len() == params.len() && s.dir().iter().any(|c| !c.is_zero()) {
+                let f = Feature::Linear(s.dir().to_vec());
+                if !features.contains(&f) {
+                    features.push(f);
+                    stats.seeded_features += 1;
+                }
             }
         }
     }

@@ -45,11 +45,15 @@ mod dataset;
 mod dtree;
 mod learn;
 mod linear;
+mod seed;
 
-pub use algorithm::{hyperplane_to_atom, linear_arbitrary, LearnConfig, LearnError};
+pub use algorithm::{
+    hyperplane_to_atom, linear_arbitrary, linear_arbitrary_seeded, LearnConfig, LearnError,
+};
 pub use dataset::{Dataset, Sample};
 pub use dtree::{dt_learn, entropy, information_gain, DecisionTree, Feature};
-pub use learn::{learn, LearnStats};
+pub use learn::{learn, learn_seeded, LearnStats};
+pub use seed::{SeedPlane, SeedStore};
 pub use linear::{
     linear_classify, rationalize, refit_intercept, ClassifierKind, Hyperplane, SvmParams,
 };

@@ -85,10 +85,25 @@ pub fn linear_classify(
     neg: &[Sample],
     seed: u64,
 ) -> Option<Hyperplane> {
+    linear_classify_warm(kind, params, pos, neg, seed, None)
+}
+
+/// [`linear_classify`] with an optional warm-start direction for the
+/// SVM (ignored by the perceptron): the subgradient walk starts from
+/// the given integer direction instead of zero, so a near-separating
+/// symbolic seed converges in a fraction of the iterations.
+pub(crate) fn linear_classify_warm(
+    kind: ClassifierKind,
+    params: &SvmParams,
+    pos: &[Sample],
+    neg: &[Sample],
+    seed: u64,
+    warm: Option<&[BigInt]>,
+) -> Option<Hyperplane> {
     if pos.is_empty() || neg.is_empty() {
         return None;
     }
-    let primary = raw_direction(kind, params, pos, neg, seed)
+    let primary = raw_direction_warm(kind, params, pos, neg, seed, warm)
         .and_then(|dir| refit_intercept(&dir, pos, neg));
     if primary.is_some() {
         return primary;
@@ -124,9 +139,20 @@ fn raw_direction(
     neg: &[Sample],
     seed: u64,
 ) -> Option<Vec<BigInt>> {
+    raw_direction_warm(kind, params, pos, neg, seed, None)
+}
+
+fn raw_direction_warm(
+    kind: ClassifierKind,
+    params: &SvmParams,
+    pos: &[Sample],
+    neg: &[Sample],
+    seed: u64,
+    warm: Option<&[BigInt]>,
+) -> Option<Vec<BigInt>> {
     let dir = match kind {
         ClassifierKind::Perceptron => perceptron_direction(pos, neg),
-        ClassifierKind::Svm => svm_direction(params, pos, neg, seed),
+        ClassifierKind::Svm => svm_direction(params, pos, neg, seed, warm),
     };
     let dir = normalize_gcd(dir);
     if dir.iter().all(BigInt::is_zero) {
@@ -187,7 +213,24 @@ fn perceptron_direction(pos: &[Sample], neg: &[Sample]) -> Vec<BigInt> {
 
 /// Pegasos-style soft-margin SVM in `f64`; returns a rationalized
 /// integer direction.
-fn svm_direction(params: &SvmParams, pos: &[Sample], neg: &[Sample], seed: u64) -> Vec<BigInt> {
+///
+/// With `warm`, the walk starts from the given direction (scaled onto
+/// the Pegasos ball) at a later step index, so the initial learning
+/// rate does not erase it, and the iteration count becomes adaptive:
+/// at exponentially-spaced probe points the running averaged direction
+/// is tested against the data, and the walk stops as soon as it
+/// reaches zero hinge loss — a near-separating seed finishes in a few
+/// hundred iterations instead of the full budget. Cold (unseeded)
+/// walks always run the full budget.
+fn svm_direction(
+    params: &SvmParams,
+    pos: &[Sample],
+    neg: &[Sample],
+    seed: u64,
+    warm: Option<&[BigInt]>,
+) -> Vec<BigInt> {
+    use linarb_trace::Level;
+    let mut span = linarb_trace::span(Level::Trace, "ml", "ml.svm");
     let dim = pos.first().or_else(|| neg.first()).map_or(0, Vec::len);
     let n = pos.len() + neg.len();
     let lambda = 1.0 / (params.c * n as f64).max(1e-9);
@@ -201,7 +244,32 @@ fn svm_direction(params: &SvmParams, pos: &[Sample], neg: &[Sample], seed: u64) 
         .map(|s| (1.0, s.iter().map(BigInt::to_f64).collect()))
         .chain(neg.iter().map(|s| (-1.0, s.iter().map(BigInt::to_f64).collect())))
         .collect();
-    for t in 1..=params.iters {
+    // Warm start: η·λ = 1 at t = 1 would zero any initial weights, so
+    // a warm-started walk begins at a later step index.
+    let t0 = match warm {
+        Some(init) => {
+            let raw: Vec<f64> = init.iter().map(BigInt::to_f64).collect();
+            let norm = dot(&raw, &raw).sqrt();
+            if norm > 1e-12 {
+                let scale = 1.0 / (norm * lambda.sqrt());
+                for (wi, xi) in w.iter_mut().zip(raw.iter()) {
+                    *wi = xi * scale;
+                }
+            }
+            (params.iters / 8).max(2)
+        }
+        None => 1,
+    };
+    let mut done = 0usize;
+    // Adaptive iteration count applies to warm-started walks only:
+    // there the seed anchors the direction, so stopping at zero hinge
+    // loss is principled. A cold walk always runs the full budget —
+    // early averaged iterates hug the samples, and their
+    // rationalizations send CEGAR down trajectories that stop
+    // converging (`jm2006` with an early-exiting cold walk).
+    let mut next_probe =
+        if warm.is_some() { 256usize.min(params.iters) } else { usize::MAX };
+    for t in t0..t0 + params.iters {
         let (y, x) = &data[rng.gen_range(0..n)];
         let eta = 1.0 / (lambda * t as f64);
         let margin = y * (dot(&w, x) + b);
@@ -218,12 +286,32 @@ fn svm_direction(params: &SvmParams, pos: &[Sample], neg: &[Sample], seed: u64) 
             *a += wi;
         }
         avg_b += b;
+        done += 1;
+        if done == next_probe && done < params.iters {
+            // Early exit only once the averaged iterate drives hinge
+            // loss to zero (functional margin ≥ 1 on every sample) —
+            // bare separation (> 0) stops on sample-hugging planes
+            // whose rationalizations derail the CEGAR trajectory.
+            let s = 1.0 / done as f64;
+            let converged = data
+                .iter()
+                .all(|(y, x)| y * (dot(&avg_w, x) + avg_b) * s >= 1.0);
+            if converged {
+                break;
+            }
+            next_probe = (next_probe * 2).min(params.iters);
+        }
     }
-    let scale = 1.0 / params.iters as f64;
+    let scale = 1.0 / done.max(1) as f64;
     for a in avg_w.iter_mut() {
         *a *= scale;
     }
     let _ = avg_b;
+    if span.active() {
+        span.record("iters", done);
+        span.record("warm", warm.is_some());
+    }
+    let _rs = linarb_trace::span(Level::Trace, "ml", "ml.rationalize");
     rationalize(&avg_w)
 }
 
@@ -316,47 +404,81 @@ fn normalize_gcd(mut w: Vec<BigInt>) -> Vec<BigInt> {
 /// integer thresholds (midpoints of adjacent projections); ties prefer
 /// wider margins. Returns `None` only for the zero direction.
 pub fn refit_intercept(dir: &[BigInt], pos: &[Sample], neg: &[Sample]) -> Option<Hyperplane> {
+    refit_intercept_scored(dir, pos, neg).map(|(h, _, _)| h)
+}
+
+/// [`refit_intercept`] that also reports `(errors, pos_errors)` of the
+/// chosen hyperplane on the training data, so callers (the symbolic
+/// seed fast path) can rank candidate directions without re-scanning.
+///
+/// Implementation: projections are computed once and sorted; a single
+/// sweep over the distinct values evaluates every candidate threshold
+/// in both orientations with running counts — O(n log n) total,
+/// replacing the former O(candidates × samples) rescan with its
+/// per-candidate `BigInt` clones. The candidate enumeration order (and
+/// therefore every tie-break) matches the old exhaustive scan: an
+/// ascending pass per orientation, un-flipped first, strict
+/// improvement only.
+pub(crate) fn refit_intercept_scored(
+    dir: &[BigInt],
+    pos: &[Sample],
+    neg: &[Sample],
+) -> Option<(Hyperplane, usize, usize)> {
     if dir.iter().all(BigInt::is_zero) {
         return None;
     }
     let h = Hyperplane { weights: dir.to_vec(), threshold: BigInt::zero() };
-    let pos_proj: Vec<BigInt> = pos.iter().map(|s| h.project(s)).collect();
-    let neg_proj: Vec<BigInt> = neg.iter().map(|s| h.project(s)).collect();
-    // Candidate thresholds: each distinct projection value v gives
-    // candidates v and v+1 ("≥ v" includes v; "≥ v+1" excludes it).
-    let mut candidates: Vec<BigInt> = Vec::new();
-    for v in pos_proj.iter().chain(neg_proj.iter()) {
-        candidates.push(v.clone());
-        candidates.push(v + &BigInt::one());
+    let mut proj: Vec<(BigInt, bool)> = pos
+        .iter()
+        .map(|s| (h.project(s), true))
+        .chain(neg.iter().map(|s| (h.project(s), false)))
+        .collect();
+    if proj.is_empty() {
+        return None;
     }
-    candidates.sort();
-    candidates.dedup();
-    // Evaluate both orientations.
-    let mut best: Option<(usize, BigInt, bool)> = None; // (errors, threshold, flipped)
-    for flipped in [false, true] {
-        for c in &candidates {
-            let thr = if flipped { -c + &BigInt::one() } else { c.clone() };
-            let mut errors = 0usize;
-            for p in &pos_proj {
-                let v = if flipped { -p } else { p.clone() };
-                if v < thr {
-                    errors += 1;
-                }
-            }
-            for n in &neg_proj {
-                let v = if flipped { -n } else { n.clone() };
-                if v >= thr {
-                    errors += 1;
-                }
-            }
-            if best.as_ref().map_or(true, |(e, _, _)| errors < *e) {
-                best = Some((errors, thr, flipped));
-            }
+    proj.sort_by(|a, b| a.0.cmp(&b.0));
+    let pos_total = pos.len();
+    let neg_total = neg.len();
+    // Distinct candidate thresholds, ascending: the minimum projection
+    // v₀ (everything classified "≥"), then v+1 after each distinct
+    // value v. `*_below` counts entries with projection < candidate.
+    // Un-flipped predicts true iff proj ≥ c; flipped (threshold
+    // −c + 1 on negated weights) predicts true iff proj < c.
+    let mut best_n: Option<(usize, usize, BigInt)> = None; // errors, pos_errors, threshold
+    let mut best_f: Option<(usize, usize, BigInt)> = None;
+    let mut consider = |pos_below: usize, neg_below: usize, c: &BigInt, plus_one: bool| {
+        let thr = if plus_one { c + &BigInt::one() } else { c.clone() };
+        let err_n = pos_below + (neg_total - neg_below);
+        if best_n.as_ref().map_or(true, |(e, _, _)| err_n < *e) {
+            best_n = Some((err_n, pos_below, thr.clone()));
         }
+        let err_f = (pos_total - pos_below) + neg_below;
+        if best_f.as_ref().map_or(true, |(e, _, _)| err_f < *e) {
+            best_f = Some((err_f, pos_total - pos_below, -&thr + &BigInt::one()));
+        }
+    };
+    consider(0, 0, &proj[0].0, false);
+    let (mut pb, mut nb) = (0usize, 0usize);
+    let mut i = 0;
+    while i < proj.len() {
+        let mut j = i;
+        while j < proj.len() && proj[j].0 == proj[i].0 {
+            if proj[j].1 {
+                pb += 1;
+            } else {
+                nb += 1;
+            }
+            j += 1;
+        }
+        consider(pb, nb, &proj[i].0, true);
+        i = j;
     }
-    let (_, threshold, flipped) = best?;
+    let (en, pn, tn) = best_n.expect("non-empty projections");
+    let (ef, pf, tf) = best_f.expect("non-empty projections");
+    let (errors, pos_errors, threshold, flipped) =
+        if ef < en { (ef, pf, tf, true) } else { (en, pn, tn, false) };
     let weights = if flipped { dir.iter().map(|c| -c).collect() } else { dir.to_vec() };
-    Some(Hyperplane { weights, threshold })
+    Some((Hyperplane { weights, threshold }, errors, pos_errors))
 }
 
 #[cfg(test)]

@@ -78,6 +78,9 @@ pub struct IncrementalSolver {
     /// and (worse) grows blocking clauses over irrelevant literals.
     guard_atoms: HashMap<Lit, Vec<BVar>>,
     checks: u64,
+    /// Activation literals of the last `Unsat` answer's assumption
+    /// core (see [`last_unsat_core`](Self::last_unsat_core)).
+    last_core: Vec<Lit>,
     /// Whether [`check`](Self::check) resets the CDCL branching state
     /// (VSIDS activities, saved phases) before searching. Off by
     /// default: carried-over decision state is what lets hard checks
@@ -103,6 +106,7 @@ impl IncrementalSolver {
             permanent_atoms: HashSet::new(),
             guard_atoms: HashMap::new(),
             checks: 0,
+            last_core: Vec::new(),
             reset_decisions: false,
         }
     }
@@ -197,6 +201,16 @@ impl IncrementalSolver {
         let learned0 = self.enc.sat.num_learned();
         let mut rounds = 0u64;
         let result = self.check_inner(active, budget, &mut rounds);
+        // Record which *caller-visible* activation literals the final
+        // conflict used (internal call literals are filtered out). An
+        // empty core on Unsat means the permanent assertions alone are
+        // inconsistent with the clause set.
+        self.last_core.clear();
+        if result.is_unsat() {
+            self.last_core.extend(
+                self.enc.sat.assumption_core().iter().filter(|l| active.contains(l)),
+            );
+        }
         metrics::counter("smt.inc_checks", 1);
         if span.active() {
             span.record("active", active.len());
@@ -411,6 +425,16 @@ impl IncrementalSolver {
         }
     }
 
+    /// After an `Unsat` answer from [`check`](Self::check): the subset
+    /// of that check's `active` literals whose guarded formulas the
+    /// final conflict actually depended on. Guards absent from the
+    /// core were irrelevant to the refutation — the CEGAR loop uses
+    /// this to spot candidate atoms that never pull their weight.
+    /// Cleared by any non-`Unsat` check.
+    pub fn last_unsat_core(&self) -> &[Lit] {
+        &self.last_core
+    }
+
     /// Total clauses the persistent CDCL core has learned over the
     /// context's lifetime.
     pub fn learned_clauses(&self) -> u64 {
@@ -604,6 +628,21 @@ mod tests {
             }
             other => panic!("expected sat, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn unsat_core_names_only_relevant_guards() {
+        let mut s = IncrementalSolver::new();
+        s.assert_permanent(&Formula::from(Atom::ge(x(), c(3))));
+        let g_low = s.push_guarded(&Formula::from(Atom::le(x(), c(1))));
+        let g_free = s.push_guarded(&Formula::from(Atom::le(y(), c(10))));
+        assert!(s.check(&[g_low, g_free], &b()).is_unsat());
+        let core = s.last_unsat_core().to_vec();
+        assert!(core.contains(&g_low), "core {core:?} must contain the contradiction");
+        assert!(!core.contains(&g_free), "irrelevant guard in core {core:?}");
+        // a sat check clears the core
+        assert!(s.check(&[g_free], &b()).is_sat());
+        assert!(s.last_unsat_core().is_empty());
     }
 
     #[test]

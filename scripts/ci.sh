@@ -25,6 +25,20 @@ echo "== tests (offline oracle path, LINARB_SMT_OFFLINE=1) =="
 # implementation for the differential gate below.
 LINARB_SMT_OFFLINE=1 cargo test -q --offline --workspace
 
+echo "== tests (seeding disabled, LINARB_NO_SEED=1) =="
+# The whole suite must hold with symbolic seeding forced off: seeding
+# is a heuristic accelerator for the learner, never a soundness or
+# verdict lever, so every test that passes with seeds must pass
+# without them.
+LINARB_NO_SEED=1 cargo test -q --offline --workspace
+
+echo "== seeding differential gate =="
+# Seeded vs unseeded runs must agree on verdicts (with both sat
+# interpretations verifying independently), and seeding must preserve
+# the 1-vs-4-thread bit-identical trajectory. Repeated here by name so
+# a filtered CI invocation cannot skip it silently.
+cargo test -q --offline -p linarb-bench --test seeding
+
 echo "== parallel determinism gate =="
 # The differential test comparing threads=1 vs threads=4 in both
 # oracle modes (verdicts, interpretations, stats, trace sequences).
