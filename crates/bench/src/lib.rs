@@ -2,6 +2,8 @@
 //! integration tests: runs any engine on any benchmark under a
 //! wall-clock budget and scores the verdict against ground truth.
 
+pub mod compare;
+
 use linarb_baselines::{
     DigLearner, InterpConfig, InterpMode, PdrConfig, PdrSolver, PieLearner, UnwindInterp,
 };

@@ -59,6 +59,10 @@ use linarb_trace::{event, CollectingSink, Event, Level, LocalSinkGuard, MetricsR
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::fmt;
 use std::sync::Arc;
+use std::time::Instant;
+
+pub mod progress;
+pub use progress::{ProgressReporter, ProgressSnapshot};
 
 /// A pluggable learning engine for the CEGAR loop.
 ///
@@ -186,6 +190,10 @@ pub struct SolverConfig {
     /// `linarb-baselines`, which the core crate cannot depend on).
     /// Ignored when `seeding` is off.
     pub seed_atoms: Vec<(PredId, Atom)>,
+    /// Live progress telemetry: when set, the solver pushes one
+    /// [`ProgressSnapshot`] per CEGAR round into the reporter (see
+    /// [`progress`]). `None` (the default) costs nothing.
+    pub progress: Option<ProgressReporter>,
 }
 
 /// The `LINARB_THREADS` default for [`SolverConfig::threads`].
@@ -213,6 +221,7 @@ impl SolverConfig {
             threads: threads_from_env(),
             seeding: seeding_from_env(),
             seed_atoms: Vec::new(),
+            progress: None,
         }
     }
 
@@ -226,6 +235,7 @@ impl SolverConfig {
             threads: threads_from_env(),
             seeding: seeding_from_env(),
             seed_atoms: Vec::new(),
+            progress: None,
         }
     }
 
@@ -262,6 +272,13 @@ impl SolverConfig {
         self.seed_atoms = atoms;
         self
     }
+
+    /// Attaches a live progress reporter (see
+    /// [`SolverConfig::progress`]).
+    pub fn with_progress(mut self, progress: ProgressReporter) -> SolverConfig {
+        self.progress = Some(progress);
+        self
+    }
 }
 
 impl Default for SolverConfig {
@@ -274,14 +291,15 @@ impl fmt::Debug for SolverConfig {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "SolverConfig {{ learner: {}, max_iterations: {}, oracle: {:?}, oracle_reset: {}, threads: {}, seeding: {}, seed_atoms: {} }}",
+            "SolverConfig {{ learner: {}, max_iterations: {}, oracle: {:?}, oracle_reset: {}, threads: {}, seeding: {}, seed_atoms: {}, progress: {} }}",
             self.learner.name(),
             self.max_iterations,
             self.oracle,
             self.oracle_reset,
             self.threads,
             self.seeding,
-            self.seed_atoms.len()
+            self.seed_atoms.len(),
+            self.progress.is_some()
         )
     }
 }
@@ -577,6 +595,11 @@ struct Precheck {
     events: Vec<Event>,
     /// Metrics collected on the worker, absorbed if consumed.
     report: Option<MetricsReport>,
+    /// Profiler call tree recorded on the worker, grafted into the
+    /// merge thread's tree if consumed — at the merge loop's current
+    /// span position, i.e. exactly where the serial check would have
+    /// grown it, so profiles agree at every thread count.
+    profile: Option<linarb_trace::ProfileTree>,
     worker: u64,
 }
 
@@ -833,6 +856,15 @@ pub struct CegarSolver<'a> {
     /// its result. One entry per predicate suffices: keys never
     /// revisit an earlier state.
     learn_memo: HashMap<PredId, ((usize, u64, usize, u64), Formula)>,
+    /// Cumulative oracle-phase micros this solve (pre-check batches +
+    /// live checks), reported through [`ProgressReporter`]. Wall-clock
+    /// — never feeds back into the trajectory.
+    phase_oracle_us: u64,
+    /// Cumulative resolve-phase micros this solve (sample extraction,
+    /// learning, interpretation updates).
+    phase_resolve_us: u64,
+    /// CEGAR rounds completed (frontier drains).
+    round: u64,
 }
 
 impl<'a> CegarSolver<'a> {
@@ -868,6 +900,9 @@ impl<'a> CegarSolver<'a> {
             stats: SolveStats::default(),
             seeds,
             learn_memo: HashMap::new(),
+            phase_oracle_us: 0,
+            phase_resolve_us: 0,
+            round: 0,
         }
     }
 
@@ -926,6 +961,9 @@ impl<'a> CegarSolver<'a> {
         let mut dirty: VecDeque<ClauseId> =
             self.sys.clauses().iter().map(|c| c.id).collect();
         let mut dirty_set: HashSet<ClauseId> = dirty.iter().copied().collect();
+        self.round = 0;
+        self.phase_oracle_us = 0;
+        self.phase_resolve_us = 0;
 
         while !dirty.is_empty() {
             if budget.exhausted() {
@@ -940,12 +978,22 @@ impl<'a> CegarSolver<'a> {
             if self.config.seeding {
                 self.seeds.prune_dead();
             }
+            self.round += 1;
+            if self.config.progress.is_some() {
+                let snap = self.progress_snapshot(dirty.len(), budget);
+                // Re-borrow: snapshot assembly needs `&self`.
+                if let Some(p) = &self.config.progress {
+                    p.emit(&snap);
+                }
+            }
             let frontier: Vec<ClauseId> = dirty.drain(..).collect();
             // Note: `dirty_set` keeps the frontier clauses until each
             // one's merge turn, so mid-round dirtying of a clause that
             // is still pending this round stays a no-op — exactly the
             // sequential queue's dedup behaviour.
+            let precheck_start = Instant::now();
             let seeds = self.precheck_frontier(&frontier, budget);
+            self.phase_oracle_us += precheck_start.elapsed().as_micros() as u64;
             // Predicates whose interpretation changed since the
             // round-start snapshot the pre-checks ran against.
             let mut changed_round: HashSet<PredId> = HashSet::new();
@@ -999,9 +1047,17 @@ impl<'a> CegarSolver<'a> {
                             if let Some(rep) = &p.report {
                                 linarb_trace::metrics::absorb_current(rep);
                             }
+                            if let Some(tree) = &p.profile {
+                                linarb_trace::profile::absorb_current(tree);
+                            }
                             p.result
                         }
-                        None => self.check_clause(clause, budget),
+                        None => {
+                            let t = Instant::now();
+                            let r = self.check_clause(clause, budget);
+                            self.phase_oracle_us += t.elapsed().as_micros() as u64;
+                            r
+                        }
                     };
                     let model = match result {
                         SmtResult::Unsat => break, // clause valid
@@ -1011,7 +1067,10 @@ impl<'a> CegarSolver<'a> {
                         }
                         SmtResult::Sat(m) => m,
                     };
-                    match self.resolve(clause, model) {
+                    let resolve_start = Instant::now();
+                    let resolution = self.resolve(clause, model);
+                    self.phase_resolve_us += resolve_start.elapsed().as_micros() as u64;
+                    match resolution {
                         Resolution::HeadWeakened(h) => {
                             // Re-queue clauses mentioning h; prefer the
                             // clauses that consume h in the body (the
@@ -1043,6 +1102,37 @@ impl<'a> CegarSolver<'a> {
         // Every clause validated.
         self.finalize_stats();
         SolveResult::Sat(self.interp.clone())
+    }
+
+    /// Assembles the per-round [`ProgressSnapshot`] (round barrier
+    /// state + cumulative phase timers). Only called when a reporter
+    /// is attached, so the store walks cost nothing by default.
+    fn progress_snapshot(&self, frontier: usize, budget: &Budget) -> ProgressSnapshot {
+        ProgressSnapshot {
+            round: self.round,
+            iterations: self.stats.iterations,
+            frontier,
+            samples: self.data.values().map(Dataset::len).sum(),
+            positive_samples: self.data.values().map(Dataset::num_positive).sum(),
+            interp_preds: self.interp.len(),
+            learned_db_size: self
+                .contexts
+                .values()
+                .map(|c| c.solver.learned_db_size() as u64)
+                .sum(),
+            seeds_added: self.seeds.total_added(),
+            seed_version_sum: self
+                .sys
+                .preds()
+                .iter()
+                .map(|p| self.seeds.version(p.id))
+                .sum(),
+            seeds_pruned: self.seeds.total_pruned(),
+            oracle_us: self.phase_oracle_us,
+            resolve_us: self.phase_resolve_us,
+            time_left_ms: budget.remaining().map(|d| d.as_millis() as u64),
+            conflicts_left: budget.effective_conflict_limit(),
+        }
     }
 
     /// Runs this round's oracle pre-checks — one isolated task per
@@ -1087,6 +1177,7 @@ impl<'a> CegarSolver<'a> {
         // neither is on, tasks skip capture entirely.
         let level = linarb_trace::effective_level();
         let metrics_on = linarb_trace::metrics::metrics_enabled();
+        let profile_on = linarb_trace::profile::profiling_enabled();
         let seeding = self.config.seeding;
         let outcomes = self.pool.parallel_map(inputs, move |(cid, slot)| {
             let clause = sys.clause(cid);
@@ -1097,12 +1188,14 @@ impl<'a> CegarSolver<'a> {
             let mut delta = CheckDelta::default();
             let mut events: Vec<Event> = Vec::new();
             let mut report: Option<MetricsReport> = None;
+            let mut profile: Option<linarb_trace::ProfileTree> = None;
             let result = {
                 let sink = (level != Level::Off).then(CollectingSink::new);
                 let _guard = sink
                     .clone()
                     .map(|s| LocalSinkGuard::install(Box::new(s), level));
                 let scope = metrics_on.then(linarb_trace::MetricsScope::new);
+                let pscope = profile_on.then(linarb_trace::ProfileScope::new);
                 let r = oracle_check(
                     sys, interp, clause, mode, reset, seeding, &mut slot, budget,
                     &mut delta,
@@ -1113,6 +1206,9 @@ impl<'a> CegarSolver<'a> {
                 if let Some(sc) = &scope {
                     report = Some(sc.take_report());
                 }
+                if let Some(ps) = &pscope {
+                    profile = Some(ps.take_tree());
+                }
                 r
             };
             Precheck {
@@ -1122,6 +1218,7 @@ impl<'a> CegarSolver<'a> {
                 delta,
                 events,
                 report,
+                profile,
                 worker: linarb_pool::current_worker() as u64,
             }
         });

@@ -76,7 +76,7 @@ pub fn learn_seeded(
     config: &LearnConfig,
     seeds: &[SeedPlane],
 ) -> Result<(Formula, LearnStats), LearnError> {
-    use linarb_trace::Level;
+    use linarb_trace::{metrics, Level};
     let mut span = linarb_trace::span(Level::Debug, "ml", "ml.learn");
     if !span.active() {
         return learn_inner(data, params, config, seeds);
@@ -92,6 +92,14 @@ pub fn learn_seeded(
             span.record("dt_used", stats.dt_used);
             span.record("dt_size", stats.dt_size);
             span.record("seed_hits", stats.seed_hits.len());
+            // Per-invocation distributions: dataset size and how many
+            // half-planes the recursion needed — the learner-side
+            // analogue of the oracle's pivot/conflict histograms.
+            metrics::histogram(
+                "ml.learn_samples",
+                (data.num_positive() + data.num_negative()) as u64,
+            );
+            metrics::histogram("ml.learn_la_atoms", stats.la_atoms as u64);
         }
         Err(_) => span.record("error", true),
     }

@@ -729,6 +729,9 @@ impl SatSolver {
         metrics::counter("sat.propagations", d_props);
         metrics::counter("sat.restarts", d_restarts);
         metrics::counter("sat.db_reductions", self.db_reductions - reductions0);
+        // Distribution (not just the total): how hard individual
+        // solver calls are — the tail is what profiles can't show.
+        metrics::histogram("sat.solve_conflicts", d_conflicts);
         if d_learned > 0 {
             metrics::histogram_bulk(
                 "sat.learned_size",

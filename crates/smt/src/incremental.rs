@@ -199,8 +199,13 @@ impl IncrementalSolver {
         use linarb_trace::{metrics, Level};
         let mut span = linarb_trace::span(Level::Debug, "smt", "smt.inc_check");
         let learned0 = self.enc.sat.num_learned();
+        let pivots0 = self.num_simplex_pivots();
         let mut rounds = 0u64;
         let result = self.check_inner(active, budget, &mut rounds);
+        // Per-check distributions: theory effort (simplex pivots) and
+        // DPLL(T) round count for this one check.
+        metrics::histogram("smt.check_pivots", self.num_simplex_pivots() - pivots0);
+        metrics::histogram("smt.check_rounds", rounds);
         // Record which *caller-visible* activation literals the final
         // conflict used (internal call literals are filtered out). An
         // empty core on Unsat means the permanent assertions alone are

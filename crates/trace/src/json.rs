@@ -271,9 +271,15 @@ impl<'a> Parser<'a> {
             }
         }
         let text = std::str::from_utf8(&self.b[start..self.i]).unwrap();
-        text.parse::<f64>()
-            .map(Json::Num)
-            .map_err(|_| self.err("bad number"))
+        match text.parse::<f64>() {
+            // `"1e999".parse::<f64>()` yields `inf` rather than an
+            // error; a non-finite value can't round-trip through any
+            // emitter in this workspace, so treat overflow as malformed
+            // input instead of silently propagating infinities.
+            Ok(n) if n.is_finite() => Ok(Json::Num(n)),
+            Ok(_) => Err(self.err("number overflows f64")),
+            Err(_) => Err(self.err("bad number")),
+        }
     }
 }
 
@@ -307,6 +313,78 @@ mod tests {
     fn jsonl_validation() {
         assert_eq!(validate_jsonl("{\"a\":1}\n\n{\"b\":2}\n").unwrap(), 2);
         let err = validate_jsonl("{\"a\":1}\nnot json\n").unwrap_err();
+        assert_eq!(err.0, 2);
+    }
+
+    #[test]
+    fn escape_sequences_round_trip() {
+        let v = parse(r#""a\"b\\c\/d\b\f\n\r\t""#).unwrap();
+        assert_eq!(v.as_str(), Some("a\"b\\c/d\u{8}\u{c}\n\r\t"));
+        let v = parse(r#""Aé世""#).unwrap();
+        assert_eq!(v.as_str(), Some("Aé世"));
+        // Lone surrogates degrade to the replacement character rather
+        // than producing invalid UTF-8.
+        let v = parse(r#""\ud800""#).unwrap();
+        assert_eq!(v.as_str(), Some("\u{fffd}"));
+        // The emitter's own escaping parses back exactly.
+        let original = "quote\" slash\\ ctrl\u{1} tab\t nl\n";
+        let emitted = crate::event::json_string(original);
+        assert_eq!(parse(&emitted).unwrap().as_str(), Some(original));
+    }
+
+    #[test]
+    fn bad_escapes_rejected() {
+        assert!(parse(r#""\q""#).is_err());
+        assert!(parse(r#""\u12""#).is_err()); // short \u escape
+        assert!(parse(r#""\uzzzz""#).is_err());
+        assert!(parse("\"abc\\").is_err()); // escape at EOF
+    }
+
+    #[test]
+    fn deeply_nested_structures() {
+        let mut doc = String::new();
+        for _ in 0..64 {
+            doc.push_str("[{\"k\":");
+        }
+        doc.push('1');
+        for _ in 0..64 {
+            doc.push_str("}]");
+        }
+        let mut v = &parse(&doc).unwrap();
+        for _ in 0..64 {
+            let Json::Arr(items) = v else { panic!("expected array") };
+            v = items[0].get("k").unwrap();
+        }
+        assert_eq!(v.as_f64(), Some(1.0));
+    }
+
+    #[test]
+    fn numeric_edge_cases() {
+        assert_eq!(parse("0").unwrap().as_f64(), Some(0.0));
+        assert_eq!(parse("-0.5e-2").unwrap().as_f64(), Some(-0.005));
+        // u64::MAX loses precision in f64 but must still parse.
+        let v = parse("18446744073709551615").unwrap().as_f64().unwrap();
+        assert!((v - 1.8446744073709552e19).abs() / v < 1e-9);
+        // Overflow to infinity is rejected, not propagated.
+        let err = parse("1e999").unwrap_err();
+        assert!(err.msg.contains("overflow"), "{err}");
+        assert!(parse("-1e999").is_err());
+        assert!(parse("[1e400]").is_err());
+        // Malformed numbers.
+        assert!(parse("-").is_err());
+        assert!(parse("1e").is_err());
+        assert!(parse("01x").is_err());
+    }
+
+    #[test]
+    fn truncated_documents_rejected() {
+        for doc in [
+            "{\"a\":", "{\"a\"", "{\"a\":1,", "[1,2", "[", "{", "\"ab", "tru", "-", "[{\"x\":[",
+        ] {
+            assert!(parse(doc).is_err(), "should reject truncated {doc:?}");
+        }
+        // Truncation mid-line in a JSONL stream reports the line.
+        let err = validate_jsonl("{\"a\":1}\n{\"b\":").unwrap_err();
         assert_eq!(err.0, 2);
     }
 }

@@ -44,13 +44,16 @@
 //! assert_eq!(events[2].fields[0].1.to_string(), "ok");
 //! ```
 
+pub mod alloc;
 mod event;
 pub mod json;
 pub mod metrics;
+pub mod profile;
 mod sink;
 
 pub use event::{json_string, Event, EventKind, Value};
 pub use metrics::{HistAgg, MetricsReport, MetricsScope, TimerAgg};
+pub use profile::{ProfileNode, ProfileScope, ProfileTree};
 pub use sink::{CollectingSink, JsonlSink, Sink, StderrSink, TeeSink};
 
 use std::cell::RefCell;
@@ -319,9 +322,10 @@ macro_rules! event {
 }
 
 /// An RAII span: emits `span_start` on creation and `span_end` (with
-/// duration) on drop, and feeds the duration into the metrics timer
-/// named after the span. Inert (zero work on drop) when neither the
-/// event level is enabled nor metrics are being collected.
+/// duration) on drop, feeds the duration into the metrics timer named
+/// after the span, and records a call-tree frame when the thread is
+/// profiling ([`profile`]). Inert (zero work on drop) when events,
+/// metrics, and profiling are all off.
 pub struct SpanGuard {
     inner: Option<SpanInner>,
 }
@@ -333,12 +337,16 @@ struct SpanInner {
     start: Instant,
     fields: Vec<(&'static str, Value)>,
     emit_events: bool,
+    profiled: bool,
 }
 
 /// Opens a span. The span's name doubles as its metrics timer key.
 pub fn span(level: Level, target: &'static str, name: &'static str) -> SpanGuard {
     let emit_events = enabled(level);
-    if !emit_events && !metrics::metrics_enabled() {
+    // `push` only succeeds when this thread has a live ProfileScope;
+    // a successful push obliges the span to pop on drop.
+    let profiled = profile::push(name);
+    if !emit_events && !profiled && !metrics::metrics_enabled() {
         return SpanGuard { inner: None };
     }
     if emit_events {
@@ -361,6 +369,7 @@ pub fn span(level: Level, target: &'static str, name: &'static str) -> SpanGuard
             start: Instant::now(),
             fields: Vec::new(),
             emit_events,
+            profiled,
         }),
     }
 }
@@ -391,6 +400,9 @@ impl Drop for SpanGuard {
     fn drop(&mut self) {
         let Some(inner) = self.inner.take() else { return };
         let dur = inner.start.elapsed();
+        if inner.profiled {
+            profile::pop(dur);
+        }
         metrics::timer(inner.name, dur);
         if inner.emit_events {
             let e = Event {

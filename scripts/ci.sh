@@ -91,14 +91,57 @@ if ! diff <(scrub "$trace_out_1t") <(scrub "$trace_out_4t") >/dev/null; then
 fi
 rm -f "$trace_out_1t" "$trace_out_4t"
 
+echo "== profiler smoke (hierarchical self-profile of one benchmark) =="
+# Solve with the profiler on: the JSON export must parse (piggybacking
+# on --check-jsonl's reader via a one-line file), the collapsed-stack
+# file must contain the canonical solve path, and the profile tree's
+# structural invariant is checked inside the binary itself (a
+# violation prints to stderr; grep keeps it fatal here). The
+# disabled-overhead direction is covered by the perf-smoke baseline
+# guard below, which runs with no profile scope installed.
+prof_out="$(mktemp /tmp/linarb_prof.XXXXXX.json)"
+prof_err="$(mktemp /tmp/linarb_prof.XXXXXX.err)"
+cargo run --release --offline -p linarb --bin linarb -- \
+    --profile-out "$prof_out" examples/fig1.smt2 2>"$prof_err"
+cargo run --release --offline -p linarb --bin linarb -- \
+    --check-jsonl "$prof_out"
+grep -q 'linarb;cegar.solve;core.oracle' "$prof_out.folded" \
+    || { echo "profiler smoke: oracle path missing from collapsed stacks" >&2; exit 1; }
+if grep -q 'profile invariant violated' "$prof_err"; then
+    cat "$prof_err" >&2
+    exit 1
+fi
+rm -f "$prof_out" "$prof_out.folded" "$prof_err"
+
 echo "== perf smoke (incremental vs fresh oracle) =="
 # Writes BENCH_<n>.json into the repo root; see EXPERIMENTS.md for the
 # report schema. Keep the per-benchmark budget modest in CI. When an
 # earlier report exists, the newest one doubles as the disabled-
-# overhead baseline: tracing off must not move the wall clock.
+# overhead baseline (tracing off must not move the wall clock) AND the
+# regression-gate reference: --compare writes BENCH_DIFF.md and fails
+# on a solved-count drop or a gated wall regression.
 baseline="$(ls -1 BENCH_*.json 2>/dev/null | sort -V | tail -n 1 || true)"
+compare_args=()
+if [ -n "$baseline" ]; then
+    compare_args=(--compare "$baseline")
+fi
 LINARB_SMOKE_TIMEOUT_MS="${LINARB_SMOKE_TIMEOUT_MS:-30000}" \
 LINARB_SMOKE_BASELINE="${LINARB_SMOKE_BASELINE:-$baseline}" \
-    cargo run --release --offline -p linarb-bench --bin perf_smoke
+    cargo run --release --offline -p linarb-bench --bin perf_smoke -- \
+    "${compare_args[@]}"
+
+echo "== bench-regression gate self-test (injected slowdown must fail) =="
+# Diff the newest report against itself with a synthetic 2x slowdown
+# injected into the "current" side: the gate must trip. Guards the
+# guard — a comparison that cannot fail is not a gate.
+newest="$(ls -1 BENCH_*.json 2>/dev/null | sort -V | tail -n 1 || true)"
+if [ -n "$newest" ]; then
+    if LINARB_SMOKE_INJECT_SLOWDOWN=2 LINARB_SMOKE_OUT_DIR="$(mktemp -d)" \
+        cargo run --release --offline -p linarb-bench --bin perf_smoke -- \
+        --compare-only "$newest" "$newest"; then
+        echo "regression gate failed to catch an injected 2x slowdown" >&2
+        exit 1
+    fi
+fi
 
 echo "== ci ok =="

@@ -31,6 +31,17 @@ options:
                                   LINARB_THREADS). Results are
                                   bit-identical at every thread count
   --no-dt                         disable decision-tree generalization
+  --profile                       aggregate the span tree into a
+                                  hierarchical self-profile; print a
+                                  summary to stderr after solving
+  --profile-out <path>            write the profile as JSON to <path>
+                                  and collapsed-stack lines (flamegraph
+                                  input) to <path>.folded; implies
+                                  --profile
+  --progress                      emit one progress line per CEGAR
+                                  round to stderr
+  --progress-out <path>           write progress snapshots as JSONL to
+                                  <path> instead of stderr
   --timeout-ms <n>                solve budget in milliseconds
   --max-iterations <n>            CEGAR iteration cap
   --check-jsonl <path>            validate that <path> is well-formed
@@ -48,6 +59,10 @@ struct Cli {
     oracle_reset: bool,
     threads: Option<usize>,
     no_dt: bool,
+    profile: bool,
+    profile_out: Option<String>,
+    progress: bool,
+    progress_out: Option<String>,
     timeout_ms: Option<u64>,
     max_iterations: Option<usize>,
     check_jsonl: Option<String>,
@@ -63,6 +78,10 @@ fn parse_args() -> Result<Cli, String> {
         oracle_reset: false,
         threads: None,
         no_dt: false,
+        profile: false,
+        profile_out: None,
+        progress: false,
+        progress_out: None,
         timeout_ms: None,
         max_iterations: None,
         check_jsonl: None,
@@ -99,6 +118,16 @@ fn parse_args() -> Result<Cli, String> {
                 cli.threads = Some(n);
             }
             "--no-dt" => cli.no_dt = true,
+            "--profile" => cli.profile = true,
+            "--profile-out" => {
+                cli.profile_out = Some(value("--profile-out")?);
+                cli.profile = true;
+            }
+            "--progress" => cli.progress = true,
+            "--progress-out" => {
+                cli.progress_out = Some(value("--progress-out")?);
+                cli.progress = true;
+            }
             "--timeout-ms" => {
                 cli.timeout_ms = Some(
                     value("--timeout-ms")?
@@ -214,15 +243,77 @@ fn main() -> ExitCode {
     if let Some(n) = cli.max_iterations {
         config.max_iterations = n;
     }
+    if cli.progress {
+        let reporter = match &cli.progress_out {
+            Some(path) => {
+                match linarb::solver::ProgressReporter::jsonl_file(std::path::Path::new(path)) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        eprintln!("linarb: cannot open {path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            None => linarb::solver::ProgressReporter::stderr(),
+        };
+        config = config.with_progress(reporter);
+    }
     let budget = match cli.timeout_ms {
         Some(ms) => Budget::timeout(Duration::from_millis(ms)),
         None => Budget::unlimited(),
     };
 
+    // The scope must exist before the solve so worker fan-outs see the
+    // profiler enabled; dropping it after export re-disables profiling.
+    let pscope = cli.profile.then(trace::ProfileScope::new);
     let start = std::time::Instant::now();
     let mut solver = CegarSolver::new(&sys, config);
     let result = solver.solve(&budget);
     let wall = start.elapsed();
+    if let Some(ps) = &pscope {
+        let tree = ps.take_tree();
+        if let Some(violation) = tree.check_invariant(50) {
+            eprintln!("linarb: profile invariant violated: {violation}");
+        }
+        if let Some(path) = &cli.profile_out {
+            let folded = format!("{path}.folded");
+            if let Err(e) = std::fs::write(path, tree.to_json()) {
+                eprintln!("linarb: cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            if let Err(e) = std::fs::write(&folded, tree.to_collapsed()) {
+                eprintln!("linarb: cannot write {folded}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("linarb: profile written to {path} (collapsed: {folded})");
+        }
+        // Stderr summary: the outermost spans and their heaviest
+        // children, against measured wall for a sanity cross-check.
+        eprintln!(
+            "profile: root {}us over {} top-level span(s), wall {}us",
+            tree.root_incl_us(),
+            tree.root.children.len(),
+            wall.as_micros()
+        );
+        for top in tree.root.children.values() {
+            eprintln!(
+                "  {:28} calls {:6} incl {:10}us excl {:8}us",
+                top.name,
+                top.calls,
+                top.incl_us,
+                top.excl_us()
+            );
+            for child in top.children.values() {
+                eprintln!(
+                    "    {:26} calls {:6} incl {:10}us excl {:8}us",
+                    child.name,
+                    child.calls,
+                    child.incl_us,
+                    child.excl_us()
+                );
+            }
+        }
+    }
 
     let (verdict, code) = match &result {
         SolveResult::Sat(_) => ("sat", ExitCode::SUCCESS),
