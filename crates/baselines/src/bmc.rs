@@ -4,10 +4,16 @@
 //! query clause can be violated by a bounded derivation. Sound for
 //! refutation (every violation found is real); inconclusive for
 //! safety.
+//!
+//! While unrolling, a *shadow tree* records which clause instance
+//! produced each disjunct; a satisfying model is then walked down the
+//! tree to extract a concrete [`DerivationNode`] certificate that
+//! replays against the original system.
 
-use crate::util::{instantiate_clause, FreshVars};
-use linarb_logic::{ChcSystem, Formula, LinExpr, Model, PredId};
+use crate::util::{instantiate_clause, ClauseInstance, FreshVars};
+use linarb_logic::{Atom, ChcSystem, ClauseId, Formula, LinExpr, Model, PredId};
 use linarb_smt::{check_sat, Budget, SmtResult};
+use linarb_solver::{CrossSeed, DerivationNode};
 
 /// Result of a bounded check.
 #[derive(Debug)]
@@ -18,6 +24,9 @@ pub enum BmcResult {
         depth: usize,
         /// The satisfying assignment of the unrolled formula.
         model: Model,
+        /// The concrete counterexample derivation extracted from the
+        /// model; replays against the original system.
+        derivation: DerivationNode,
     },
     /// No violation exists within the bound.
     SafeUpTo(usize),
@@ -32,8 +41,28 @@ impl BmcResult {
     }
 }
 
+/// Shadow of one `unroll` call: the predicate occurrence and, per
+/// candidate clause, the instance that was encoded for it.
+struct ShadowNode {
+    pred: PredId,
+    /// The interface arguments this occurrence was requested with
+    /// (expressions over the *parent's* fresh variables).
+    args: Vec<LinExpr>,
+    candidates: Vec<Candidate>,
+}
+
+struct Candidate {
+    clause: ClauseId,
+    inst: ClauseInstance,
+    /// Constraint ∧ interface equalities of this disjunct (children's
+    /// subformulas excluded — they are tested via `children`).
+    local: Formula,
+    children: Vec<ShadowNode>,
+}
+
 /// Builds the under-approximation of `pred` for derivations of height
 /// ≤ `depth`, instantiated so that its free interface is `args`.
+/// Returns the formula and the shadow node mirroring its disjuncts.
 fn unroll(
     sys: &ChcSystem,
     pred: PredId,
@@ -41,11 +70,14 @@ fn unroll(
     depth: usize,
     fresh: &mut FreshVars,
     nodes: &mut usize,
-) -> Formula {
-    if depth == 0 || *nodes > 200_000 {
-        return Formula::False;
+    budget: &Budget,
+) -> (Formula, ShadowNode) {
+    let shadow = ShadowNode { pred, args: args.to_vec(), candidates: Vec::new() };
+    if depth == 0 || *nodes > 200_000 || budget.should_stop() {
+        return (Formula::False, shadow);
     }
     *nodes += 1;
+    let mut shadow = shadow;
     let mut disjuncts = Vec::new();
     for clause in sys.clauses() {
         let happ = match &clause.head {
@@ -54,22 +86,79 @@ fn unroll(
         };
         let _ = happ;
         let inst = instantiate_clause(clause, fresh);
-        let mut conj = vec![inst.constraint.clone()];
+        let mut local = vec![inst.constraint.clone()];
         // interface: head args equal the requested args
         for (ha, a) in inst.head_args.iter().zip(args.iter()) {
-            conj.push(linarb_logic::Atom::eq_expr(ha.clone(), a.clone()));
+            local.push(Atom::eq_expr(ha.clone(), a.clone()));
         }
+        let local = Formula::and(local);
+        let mut conj = vec![local.clone()];
+        let mut children = Vec::new();
         for app in &inst.body {
-            conj.push(unroll(sys, app.pred, &app.args, depth - 1, fresh, nodes));
+            let (sub, child) =
+                unroll(sys, app.pred, &app.args, depth - 1, fresh, nodes, budget);
+            conj.push(sub);
+            children.push(child);
         }
+        shadow.candidates.push(Candidate { clause: clause.id, inst, local, children });
         disjuncts.push(Formula::and(conj));
     }
-    Formula::or(disjuncts)
+    (Formula::or(disjuncts), shadow)
+}
+
+/// Walks the satisfying model down the shadow tree, picking the first
+/// candidate whose local constraints hold and whose children all
+/// extract. Sound because `Formula::eval` is total (unassigned
+/// variables read as 0, matching `ClauseInstance::pull_back`).
+fn extract(node: &ShadowNode, model: &Model) -> Option<DerivationNode> {
+    'cand: for cand in &node.candidates {
+        if !cand.local.eval(model) {
+            continue;
+        }
+        let mut children = Vec::new();
+        for child in &cand.children {
+            match extract(child, model) {
+                Some(d) => children.push(d),
+                None => continue 'cand,
+            }
+        }
+        return Some(DerivationNode {
+            pred: Some(node.pred),
+            sample: node.args.iter().map(|a| a.eval(model)).collect(),
+            clause: cand.clause,
+            model: cand.inst.pull_back(model),
+            children,
+        });
+    }
+    None
+}
+
+/// Publishes every state of the derivation as a negative sample: each
+/// one reaches the goal violation, so no invariant may contain it.
+fn publish_states(node: &DerivationNode, sink: &dyn CrossSeed) {
+    if let Some(p) = node.pred {
+        sink.publish_negative(p, &node.sample);
+    }
+    for child in &node.children {
+        publish_states(child, sink);
+    }
 }
 
 /// Checks all query clauses for violations by derivations of height ≤
 /// `max_depth`, by iterative deepening.
 pub fn bmc(sys: &ChcSystem, max_depth: usize, budget: &Budget) -> BmcResult {
+    bmc_with_sink(sys, max_depth, budget, None)
+}
+
+/// [`bmc`] with an optional cross-seeding bus: on a violation, every
+/// state of the counterexample derivation is published as a negative
+/// sample for the portfolio's CEGAR engine.
+pub fn bmc_with_sink(
+    sys: &ChcSystem,
+    max_depth: usize,
+    budget: &Budget,
+    sink: Option<&dyn CrossSeed>,
+) -> BmcResult {
     for depth in 0..=max_depth {
         if budget.exhausted() {
             return BmcResult::Unknown;
@@ -82,13 +171,47 @@ pub fn bmc(sys: &ChcSystem, max_depth: usize, budget: &Budget) -> BmcResult {
             let mut nodes = 0usize;
             let inst = instantiate_clause(clause, &mut fresh);
             let mut conj = vec![inst.constraint.clone()];
+            let mut shadows = Vec::new();
             for app in &inst.body {
-                conj.push(unroll(sys, app.pred, &app.args, depth, &mut fresh, &mut nodes));
+                let (sub, shadow) =
+                    unroll(sys, app.pred, &app.args, depth, &mut fresh, &mut nodes, budget);
+                conj.push(sub);
+                shadows.push(shadow);
             }
             conj.push(Formula::not(inst.goal.clone().expect("query clause")));
             let f = Formula::and(conj);
             match check_sat(&f, budget) {
-                SmtResult::Sat(model) => return BmcResult::Violation { depth, model },
+                SmtResult::Sat(model) => {
+                    let mut children = Vec::new();
+                    let mut complete = true;
+                    for shadow in &shadows {
+                        match extract(shadow, &model) {
+                            Some(d) => children.push(d),
+                            None => {
+                                complete = false;
+                                break;
+                            }
+                        }
+                    }
+                    if !complete {
+                        // A model that satisfies the unrolling always
+                        // selects a full disjunct per occurrence; only
+                        // a truncated (node-capped / cancelled) unroll
+                        // can fail here. Report inconclusive.
+                        return BmcResult::Unknown;
+                    }
+                    let derivation = DerivationNode {
+                        pred: None,
+                        sample: Vec::new(),
+                        clause: clause.id,
+                        model: inst.pull_back(&model),
+                        children,
+                    };
+                    if let Some(sink) = sink {
+                        publish_states(&derivation, sink);
+                    }
+                    return BmcResult::Violation { depth, model, derivation };
+                }
                 SmtResult::Unsat => {}
                 SmtResult::Unknown => return BmcResult::Unknown,
             }
@@ -127,7 +250,10 @@ mod tests {
         let text = SAFE.replace("(>= x 1)", "(>= x 2)");
         let sys = parse_chc(&text).unwrap();
         match bmc(&sys, 4, &Budget::unlimited()) {
-            BmcResult::Violation { depth, .. } => assert_eq!(depth, 1),
+            BmcResult::Violation { depth, derivation, .. } => {
+                assert_eq!(depth, 1);
+                assert!(derivation.replay(&sys), "derivation must replay");
+            }
             other => panic!("expected violation, got {other:?}"),
         }
     }
@@ -145,7 +271,11 @@ mod tests {
         let sys = parse_chc(text).unwrap();
         assert!(!bmc(&sys, 3, &Budget::unlimited()).is_violation());
         match bmc(&sys, 5, &Budget::unlimited()) {
-            BmcResult::Violation { depth, .. } => assert_eq!(depth, 4),
+            BmcResult::Violation { depth, derivation, .. } => {
+                assert_eq!(depth, 4);
+                assert!(derivation.replay(&sys), "derivation must replay");
+                assert_eq!(derivation.size(), 5, "root + four derivation steps");
+            }
             other => panic!("expected violation, got {other:?}"),
         }
     }
@@ -168,7 +298,9 @@ mod tests {
         "#;
         let sys = parse_chc(text).unwrap();
         match bmc(&sys, 4, &Budget::unlimited()) {
-            BmcResult::Violation { .. } => {}
+            BmcResult::Violation { derivation, .. } => {
+                assert!(derivation.replay(&sys), "nonlinear derivation must replay");
+            }
             other => panic!("expected violation, got {other:?}"),
         }
     }

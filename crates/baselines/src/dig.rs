@@ -12,13 +12,30 @@
 use linarb_arith::{BigInt, BigRational};
 use linarb_logic::{Atom, Formula, LinExpr, Var};
 use linarb_ml::{Dataset, LearnError, Sample};
+use linarb_smt::Budget;
 use linarb_solver::Learner;
 
 /// The DIG-style template learner. Implements
 /// [`Learner`](linarb_solver::Learner) so it runs inside the same
 /// CEGAR sampling loop as the paper's toolchain.
 #[derive(Clone, Debug, Default)]
-pub struct DigLearner;
+pub struct DigLearner {
+    /// Optional shared budget polled inside the candidate-selection
+    /// loop so portfolio cancellation is prompt even mid-learn.
+    pub budget: Option<Budget>,
+}
+
+impl DigLearner {
+    /// Attaches a budget polled by the greedy candidate-selection loop.
+    pub fn with_budget(mut self, budget: Budget) -> DigLearner {
+        self.budget = Some(budget);
+        self
+    }
+
+    fn stopped(&self) -> bool {
+        self.budget.as_ref().is_some_and(Budget::should_stop)
+    }
+}
 
 /// Exact nullspace basis of the row space of `rows` (each row a
 /// rational vector): vectors `v` with `row · v = 0` for every row.
@@ -188,6 +205,9 @@ impl Learner for DigLearner {
         }
         // Bounds only as needed, most-excluding first.
         while !remaining.is_empty() {
+            if self.stopped() {
+                return Err(LearnError::HypothesisExhausted);
+            }
             let best = pool
                 .iter()
                 .enumerate()
@@ -241,7 +261,7 @@ mod tests {
         // samples on the line y = 2x + 1
         let d = dataset(&[&[0, 1], &[1, 3], &[2, 5], &[5, 11]], &[&[1, 1]]);
         let ps = params(2);
-        let f = DigLearner.learn(&d, &ps).unwrap();
+        let f = DigLearner::default().learn(&d, &ps).unwrap();
         // the equation must hold on a fresh in-box point of the line …
         let mut m = Model::new();
         m.assign(ps[0], int(3));
@@ -262,7 +282,7 @@ mod tests {
     fn octagonal_bounds_close_the_box() {
         let d = dataset(&[&[0, 0], &[1, 2], &[3, 1]], &[&[10, 10]]);
         let ps = params(2);
-        let f = DigLearner.learn(&d, &ps).unwrap();
+        let f = DigLearner::default().learn(&d, &ps).unwrap();
         let mut m = Model::new();
         m.assign(ps[0], int(2));
         m.assign(ps[1], int(1));
@@ -277,7 +297,7 @@ mod tests {
         // positives; no conjunction of equations/bounds excludes it.
         let d = dataset(&[&[0, 0], &[4, 4]], &[&[2, 2]]);
         assert!(matches!(
-            DigLearner.learn(&d, &params(2)),
+            DigLearner::default().learn(&d, &params(2)),
             Err(LearnError::HypothesisExhausted)
         ));
     }

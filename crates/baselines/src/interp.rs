@@ -28,8 +28,10 @@ use linarb_logic::{
     Atom, ChcSystem, Formula, Interpretation, LinExpr, PredId, Var,
 };
 use linarb_smt::{check_conjunction, check_sat, Budget, ConjunctionResult, SmtResult};
+use linarb_solver::CrossSeed;
 use std::collections::HashMap;
 use std::ops::Range;
+use std::sync::Arc;
 
 /// Interpolation strategy.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -64,7 +66,11 @@ pub enum InterpResult {
     /// Inductive interpretation found.
     Sat(Interpretation),
     /// A satisfiable trace is a concrete counterexample.
-    Unsat,
+    Unsat {
+        /// The unwinding depth of the satisfiable trace. A certificate
+        /// can be re-derived by running BMC to this depth.
+        depth: usize,
+    },
     /// Budget or depth exhausted.
     Unknown,
 }
@@ -77,7 +83,7 @@ impl InterpResult {
 
     /// `true` for [`InterpResult::Unsat`].
     pub fn is_unsat(&self) -> bool {
-        matches!(self, InterpResult::Unsat)
+        matches!(self, InterpResult::Unsat { .. })
     }
 }
 
@@ -99,13 +105,23 @@ pub struct UnwindInterp<'a> {
     sys: &'a ChcSystem,
     config: InterpConfig,
     candidate: HashMap<PredId, Vec<Atom>>,
+    /// Optional portfolio seeding bus: harvested Farkas-plane atoms are
+    /// published as candidate hyperplanes for the CEGAR learner.
+    sink: Option<Arc<dyn CrossSeed>>,
     traces_seen: usize,
 }
 
 impl<'a> UnwindInterp<'a> {
     /// Creates an engine for `sys`.
     pub fn new(sys: &'a ChcSystem, config: InterpConfig) -> UnwindInterp<'a> {
-        UnwindInterp { sys, config, candidate: HashMap::new(), traces_seen: 0 }
+        UnwindInterp { sys, config, candidate: HashMap::new(), sink: None, traces_seen: 0 }
+    }
+
+    /// Attaches a cross-seeding bus: every harvested interpolant atom
+    /// is published for the portfolio's CEGAR engine.
+    pub fn with_seed_sink(mut self, sink: Arc<dyn CrossSeed>) -> UnwindInterp<'a> {
+        self.sink = Some(sink);
+        self
     }
 
     /// Traces enumerated so far (statistics).
@@ -123,9 +139,13 @@ impl<'a> UnwindInterp<'a> {
         depth: usize,
         builds: Vec<Trace>,
         fresh: &mut FreshVars,
+        budget: &Budget,
     ) -> Vec<Trace> {
         let mut out = Vec::new();
         for mut build in builds {
+            if budget.should_stop() {
+                return out; // caller notices exhaustion and aborts
+            }
             if depth == 0 {
                 continue; // this skeleton cannot be completed
             }
@@ -163,7 +183,7 @@ impl<'a> UnwindInterp<'a> {
                     b2.atoms.extend(cube.iter().cloned());
                     let mut subs = vec![b2];
                     for app in &inst.body {
-                        subs = self.expand(app.pred, &app.args, depth - 1, subs, fresh);
+                        subs = self.expand(app.pred, &app.args, depth - 1, subs, fresh, budget);
                         if subs.is_empty() {
                             break;
                         }
@@ -183,10 +203,10 @@ impl<'a> UnwindInterp<'a> {
     }
 
     /// All traces of the query clauses at the given depth.
-    fn traces_at(&mut self, depth: usize) -> Vec<Trace> {
+    fn traces_at(&mut self, depth: usize, budget: &Budget) -> Vec<Trace> {
         let mut all = Vec::new();
         for clause in self.sys.clauses() {
-            if !clause.is_query() {
+            if !clause.is_query() || budget.should_stop() {
                 continue;
             }
             let mut fresh = FreshVars::for_system(self.sys);
@@ -197,7 +217,7 @@ impl<'a> UnwindInterp<'a> {
             for cube in cubes {
                 let mut builds = vec![Trace { atoms: cube, nodes: Vec::new() }];
                 for app in &inst.body {
-                    builds = self.expand(app.pred, &app.args, depth, builds, &mut fresh);
+                    builds = self.expand(app.pred, &app.args, depth, builds, &mut fresh, budget);
                     if builds.is_empty() {
                         break;
                     }
@@ -256,6 +276,9 @@ impl<'a> UnwindInterp<'a> {
             }
             let list = self.candidate.entry(node.pred).or_default();
             if !list.contains(&atom) {
+                if let Some(sink) = &self.sink {
+                    sink.publish_atom(node.pred, &atom);
+                }
                 list.push(atom);
             }
         }
@@ -303,7 +326,7 @@ impl<'a> UnwindInterp<'a> {
             if budget.exhausted() {
                 break;
             }
-            let traces = self.traces_at(depth);
+            let traces = self.traces_at(depth, budget);
             for trace in &traces {
                 if budget.exhausted() {
                     break 'depths;
@@ -338,14 +361,14 @@ impl<'a> UnwindInterp<'a> {
             if budget.exhausted() {
                 return InterpResult::Unknown;
             }
-            let traces = self.traces_at(depth);
+            let traces = self.traces_at(depth, budget);
             for trace in &traces {
                 if budget.exhausted() {
                     return InterpResult::Unknown;
                 }
                 self.traces_seen += 1;
                 match check_conjunction(&trace.atoms, budget) {
-                    ConjunctionResult::Sat(_) => return InterpResult::Unsat,
+                    ConjunctionResult::Sat(_) => return InterpResult::Unsat { depth },
                     ConjunctionResult::Unknown => return InterpResult::Unknown,
                     ConjunctionResult::Unsat { farkas, .. } => {
                         if let Some(cert) = farkas {

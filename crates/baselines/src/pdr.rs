@@ -17,11 +17,13 @@
 use crate::util::{instantiate_clause, FreshVars};
 use linarb_arith::BigInt;
 use linarb_logic::{
-    Atom, ChcSystem, Formula, Interpretation, LinExpr, PredApp, PredId, Var,
+    Atom, ChcSystem, ClauseId, Formula, Interpretation, LinExpr, Model, PredApp, PredId, Var,
 };
 use linarb_ml::Sample;
 use linarb_smt::{check_sat, Budget, SmtResult};
+use linarb_solver::{CrossSeed, DerivationNode};
 use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
 
 /// A conjunction of atoms over a predicate's parameters.
 pub type Cube = Vec<Atom>;
@@ -48,8 +50,9 @@ impl Default for PdrConfig {
 pub enum PdrResult {
     /// Inductive interpretation found.
     Sat(Interpretation),
-    /// A concrete derivation violates a query.
-    Unsat,
+    /// A concrete derivation violates a query; the derivation replays
+    /// against the original system ([`DerivationNode::replay`]).
+    Unsat(DerivationNode),
     /// Budget, level, or obligation limit exhausted.
     Unknown,
 }
@@ -62,7 +65,7 @@ impl PdrResult {
 
     /// `true` for [`PdrResult::Unsat`].
     pub fn is_unsat(&self) -> bool {
-        matches!(self, PdrResult::Unsat)
+        matches!(self, PdrResult::Unsat(_))
     }
 }
 
@@ -82,6 +85,15 @@ pub struct PdrSolver<'a> {
     frames: Vec<BTreeMap<PredId, Vec<Cube>>>,
     /// Must summaries (Spacer mode).
     reach: BTreeMap<PredId, Vec<Sample>>,
+    /// Justification of every reached point: the clause instance that
+    /// derived it (model pulled back to the clause's own variables) and
+    /// the body points it was derived from. Children are always
+    /// justified before their parents, so certificate extraction
+    /// terminates.
+    justif: HashMap<(PredId, Sample), (ClauseId, Model, Vec<(PredId, Sample)>)>,
+    /// Optional portfolio seeding bus: generalized lemma atoms are
+    /// published as candidate hyperplanes for the CEGAR learner.
+    sink: Option<Arc<dyn CrossSeed>>,
     obligations: usize,
 }
 
@@ -93,8 +105,17 @@ impl<'a> PdrSolver<'a> {
             config,
             frames: vec![BTreeMap::new(), BTreeMap::new()],
             reach: BTreeMap::new(),
+            justif: HashMap::new(),
+            sink: None,
             obligations: 0,
         }
+    }
+
+    /// Attaches a cross-seeding bus: each generalized lemma's atoms are
+    /// published for the portfolio's CEGAR engine.
+    pub fn with_seed_sink(mut self, sink: Arc<dyn CrossSeed>) -> PdrSolver<'a> {
+        self.sink = Some(sink);
+        self
     }
 
     /// Number of proof obligations processed (statistics).
@@ -154,15 +175,18 @@ impl<'a> PdrSolver<'a> {
 
     /// Can some clause with head `pred` produce a state in `cube` from
     /// `F_{level-1}` bodies? Returns the first witnessing
-    /// (clause model, instance) or `None` when fully blocked.
+    /// (clause, instance, model) or `None` when fully blocked.
     fn predecessor_query(
         &self,
         pred: PredId,
         cube: &Cube,
         level: usize,
         budget: &Budget,
-    ) -> Result<Option<(crate::util::ClauseInstance, linarb_logic::Model)>, ()> {
+    ) -> Result<Option<(ClauseId, crate::util::ClauseInstance, Model)>, ()> {
         for clause in self.sys.clauses() {
+            if budget.should_stop() {
+                return Err(());
+            }
             let happ = match &clause.head {
                 linarb_logic::ClauseHead::Pred(a) if a.pred == pred => a,
                 _ => continue,
@@ -176,7 +200,7 @@ impl<'a> PdrSolver<'a> {
                 conj.push(self.frame_formula(level - 1, app.pred, &app.args));
             }
             match check_sat(&Formula::and(conj), budget) {
-                SmtResult::Sat(m) => return Ok(Some((inst, m))),
+                SmtResult::Sat(m) => return Ok(Some((clause.id, inst, m))),
                 SmtResult::Unsat => {}
                 SmtResult::Unknown => return Err(()),
             }
@@ -208,7 +232,7 @@ impl<'a> PdrSolver<'a> {
             }
         }
         loop {
-            let (inst, model) = match self.predecessor_query(pred, &cube, level, budget) {
+            let (cid, inst, model) = match self.predecessor_query(pred, &cube, level, budget) {
                 Err(()) => return Verdict::Unknown,
                 Ok(None) => break,
                 Ok(Some(x)) => x,
@@ -231,6 +255,14 @@ impl<'a> PdrSolver<'a> {
             }
             if all_reached {
                 let point: Sample = inst.head_args.iter().map(|a| a.eval(&model)).collect();
+                let children: Vec<(PredId, Sample)> = inst
+                    .body
+                    .iter()
+                    .map(|app| (app.pred, app.eval_args(&model)))
+                    .collect();
+                self.justif
+                    .entry((pred, point.clone()))
+                    .or_insert_with(|| (cid, inst.pull_back(&model), children));
                 self.reach.entry(pred).or_default().push(point);
                 return Verdict::Reach;
             }
@@ -251,7 +283,7 @@ impl<'a> PdrSolver<'a> {
         let mut current = cube;
         let mut i = 0;
         while i < current.len() {
-            if current.len() == 1 {
+            if current.len() == 1 || budget.should_stop() {
                 break;
             }
             let mut candidate = current.clone();
@@ -270,6 +302,13 @@ impl<'a> PdrSolver<'a> {
     }
 
     fn add_lemma(&mut self, pred: PredId, cube: Cube, level: usize) {
+        if let Some(sink) = &self.sink {
+            // Lemma atoms are half-planes over the predicate's
+            // parameters — exactly what the CEGAR seed store wants.
+            for atom in &cube {
+                sink.publish_atom(pred, atom);
+            }
+        }
         for i in 1..=level {
             while self.frames.len() <= i {
                 self.frames.push(BTreeMap::new());
@@ -333,7 +372,13 @@ impl<'a> PdrSolver<'a> {
                         SmtResult::Sat(m) => m,
                     };
                     if inst.body.is_empty() {
-                        return PdrResult::Unsat;
+                        return PdrResult::Unsat(DerivationNode {
+                            pred: None,
+                            sample: Vec::new(),
+                            clause: query.id,
+                            model: inst.pull_back(&model),
+                            children: Vec::new(),
+                        });
                     }
                     let mut all_reached = true;
                     for app in &inst.body {
@@ -349,7 +394,18 @@ impl<'a> PdrSolver<'a> {
                         }
                     }
                     if all_reached {
-                        return PdrResult::Unsat;
+                        let children = inst
+                            .body
+                            .iter()
+                            .map(|app| self.derivation_for(app.pred, &app.eval_args(&model)))
+                            .collect();
+                        return PdrResult::Unsat(DerivationNode {
+                            pred: None,
+                            sample: Vec::new(),
+                            clause: query.id,
+                            model: inst.pull_back(&model),
+                            children,
+                        });
                     }
                 }
             }
@@ -362,6 +418,9 @@ impl<'a> PdrSolver<'a> {
                 for p in preds {
                     let cubes = self.frames[i][&p].clone();
                     for cube in cubes {
+                        if budget.should_stop() {
+                            return PdrResult::Unknown;
+                        }
                         if self.frames[i + 1]
                             .get(&p)
                             .is_some_and(|ls| ls.contains(&cube))
@@ -386,6 +445,27 @@ impl<'a> PdrSolver<'a> {
             }
         }
         PdrResult::Unknown
+    }
+
+    /// Rebuilds the derivation of a reached point from the
+    /// justification map. Every point in `reach` has an entry (recorded
+    /// the moment it was confirmed), and children are recorded before
+    /// parents, so the recursion is total.
+    fn derivation_for(&self, pred: PredId, sample: &Sample) -> DerivationNode {
+        let (clause, model, children) = self
+            .justif
+            .get(&(pred, sample.clone()))
+            .expect("reached point must be justified");
+        DerivationNode {
+            pred: Some(pred),
+            sample: sample.clone(),
+            clause: *clause,
+            model: model.clone(),
+            children: children
+                .iter()
+                .map(|(p, s)| self.derivation_for(*p, s))
+                .collect(),
+        }
     }
 
     fn frames_equal(&self, i: usize, j: usize) -> bool {
@@ -419,12 +499,21 @@ mod tests {
         let config = PdrConfig { spacer_mode: spacer, ..PdrConfig::default() };
         let mut pdr = PdrSolver::new(&sys, config);
         let r = pdr.solve(&Budget::timeout(Duration::from_secs(30)));
-        if let PdrResult::Sat(interp) = &r {
-            assert_eq!(
-                verify_interpretation(&sys, interp, &Budget::timeout(Duration::from_secs(30))),
-                Some(true),
-                "PDR interpretation must validate the system"
-            );
+        match &r {
+            PdrResult::Sat(interp) => {
+                assert_eq!(
+                    verify_interpretation(&sys, interp, &Budget::timeout(Duration::from_secs(30))),
+                    Some(true),
+                    "PDR interpretation must validate the system"
+                );
+            }
+            PdrResult::Unsat(derivation) => {
+                assert!(
+                    derivation.replay(&sys),
+                    "PDR derivation must replay against the system"
+                );
+            }
+            PdrResult::Unknown => {}
         }
         r
     }

@@ -13,6 +13,7 @@
 use linarb_arith::BigInt;
 use linarb_logic::{Atom, Formula, LinExpr, Var};
 use linarb_ml::{Dataset, LearnError, Sample};
+use linarb_smt::Budget;
 use linarb_solver::Learner;
 
 /// Configuration of the enumeration space.
@@ -38,9 +39,22 @@ impl Default for PieConfig {
 pub struct PieLearner {
     /// Enumeration space configuration.
     pub config: PieConfig,
+    /// Optional shared budget polled inside the enumeration loops so
+    /// portfolio cancellation is prompt even mid-learn.
+    pub budget: Option<Budget>,
 }
 
 impl PieLearner {
+    /// Attaches a budget polled by the feature-enumeration and greedy
+    /// cover loops.
+    pub fn with_budget(mut self, budget: Budget) -> PieLearner {
+        self.budget = Some(budget);
+        self
+    }
+
+    fn stopped(&self) -> bool {
+        self.budget.as_ref().is_some_and(Budget::should_stop)
+    }
     /// Enumerates the feature atoms for a dataset: `±xᵢ ≤ c` and
     /// (optionally) `±xᵢ ± xⱼ ≤ c`, with `c` drawn from the projected
     /// sample values plus slack.
@@ -73,6 +87,9 @@ impl PieLearner {
             .collect();
         let mut atoms = Vec::new();
         for w in dirs {
+            if self.stopped() {
+                break; // partial feature set; learn will bail shortly
+            }
             let mut values: Vec<BigInt> = samples
                 .iter()
                 .map(|s| {
@@ -127,6 +144,9 @@ impl Learner for PieLearner {
         let mut uncovered: Vec<&Sample> = data.positives().iter().collect();
         let mut cubes: Vec<Vec<Atom>> = Vec::new();
         while let Some(anchor) = uncovered.first().copied() {
+            if self.stopped() {
+                return Err(LearnError::HypothesisExhausted);
+            }
             // Features true at the anchor are cube candidates.
             let candidates: Vec<&Atom> = features
                 .iter()

@@ -1,6 +1,6 @@
 //! Shared helpers: fresh-variable supplies and clause instantiation.
 
-use linarb_logic::{ChcSystem, Clause, Formula, LinExpr, PredApp, Var};
+use linarb_logic::{ChcSystem, Clause, Formula, LinExpr, Model, PredApp, Var};
 use std::collections::HashMap;
 
 /// Hands out variables guaranteed fresh w.r.t. a system.
@@ -34,6 +34,23 @@ pub struct ClauseInstance {
     pub head_args: Vec<LinExpr>,
     /// Renamed goal formula (for query clauses).
     pub goal: Option<Formula>,
+    /// The renaming applied (original clause variable → fresh
+    /// variable); lets certificate builders pull a model of the
+    /// instance back to the clause's own variables.
+    pub var_map: HashMap<Var, Var>,
+}
+
+impl ClauseInstance {
+    /// Translates a model over this instance's fresh variables back
+    /// into a model over the original clause's variables, as required
+    /// by `DerivationNode::replay` (which re-evaluates the *original*
+    /// clause).
+    pub fn pull_back(&self, model: &Model) -> Model {
+        self.var_map
+            .iter()
+            .map(|(orig, fresh)| (*orig, model.value(*fresh)))
+            .collect()
+    }
 }
 
 /// Renames every variable of `clause` through a fresh supply.
@@ -58,7 +75,7 @@ pub fn instantiate_clause(clause: &Clause, fresh: &mut FreshVars) -> ClauseInsta
         ),
         linarb_logic::ClauseHead::Goal(g) => (Vec::new(), Some(g.subst(&exprs))),
     };
-    ClauseInstance { constraint, body, head_args, goal }
+    ClauseInstance { constraint, body, head_args, goal, var_map: map }
 }
 
 #[cfg(test)]

@@ -47,6 +47,7 @@
 use linarb_baselines::{InterpConfig, UnwindInterp};
 use linarb_bench::compare::{compare, BenchReport, CompareOptions};
 use linarb_bench::env_or;
+use linarb_portfolio::{solve_portfolio, PortfolioConfig};
 use linarb_smt::Budget;
 use linarb_solver::{CegarSolver, OracleMode, SolveResult, SolverConfig};
 use linarb_suite::{even_odd, fibo_unsafe, fig1, program_a, program_c_fibo};
@@ -543,6 +544,76 @@ fn main() -> ExitCode {
         );
     }
 
+    // Portfolio race: the same suite plus the harder tier (instances
+    // built so some non-CEGAR engine has a shortcut), each solved by
+    // racing the default engine set at LINARB_SMOKE_PORTFOLIO_THREADS
+    // workers (default 4). Verdicts are certificate-checked inside the
+    // driver and asserted against ground truth here; wall times land
+    // in a mode-shaped `portfolio` report section so `--compare` gates
+    // them against the previous report from BENCH_9 on.
+    let portfolio_threads = env_or("LINARB_SMOKE_PORTFOLIO_THREADS", 4usize);
+    let harder = linarb_suite::harder_tier(7);
+    eprintln!(
+        "== portfolio ({} threads, {} suite + {} harder-tier) ==",
+        portfolio_threads,
+        suite.len(),
+        harder.len()
+    );
+    let mut port_rows: Vec<(String, Duration, &'static str, String)> = Vec::new();
+    let mut port_wall = Duration::ZERO;
+    for b in suite.iter().chain(harder.iter()) {
+        let config = PortfolioConfig::from_env().with_threads(portfolio_threads);
+        let start = Instant::now();
+        let out = solve_portfolio(&b.system, &config, &Budget::timeout(timeout));
+        let elapsed = start.elapsed();
+        let verdict = out.verdict.label();
+        let expected = match b.expected {
+            linarb_suite::Expected::Safe => "sat",
+            linarb_suite::Expected::Unsafe => "unsat",
+        };
+        assert!(
+            verdict == "unknown" || verdict == expected,
+            "portfolio contradicts ground truth on {}: got {verdict}, expected {expected}",
+            b.name
+        );
+        let winner = out.winner.map_or("none".to_string(), |w| w.to_string());
+        eprintln!(
+            "  {:24} {:8} {:>9.3}s  winner {}",
+            b.name,
+            verdict,
+            elapsed.as_secs_f64(),
+            winner
+        );
+        port_wall += elapsed;
+        port_rows.push((b.name.clone(), elapsed, verdict, winner));
+    }
+    let port_solved = port_rows.iter().filter(|(_, _, v, _)| *v != "unknown").count();
+    // Advisory (not a gate — the hard gate is --compare against the
+    // previous report): on the subset both solve, the racing portfolio
+    // should stay within 25% of the incremental single-engine walls.
+    let inc_by_name: std::collections::BTreeMap<&str, (f64, &'static str)> = inc
+        .per_bench
+        .iter()
+        .map(|(n, t, v)| (n.as_str(), (t.as_secs_f64(), *v)))
+        .collect();
+    let mut port_common = 0.0f64;
+    let mut inc_common = 0.0f64;
+    for (name, t, v, _) in &port_rows {
+        if let Some((it, iv)) = inc_by_name.get(name.as_str()) {
+            if *v != "unknown" && *iv != "unknown" {
+                port_common += t.as_secs_f64();
+                inc_common += *it;
+            }
+        }
+    }
+    if port_common > inc_common * 1.25 && port_common - inc_common > 0.25 {
+        eprintln!(
+            "warning: portfolio {port_common:.3}s vs single-engine {inc_common:.3}s on the \
+             commonly-solved subset (>{:.0}% over)",
+            (port_common / inc_common.max(1e-9) - 1.0) * 100.0
+        );
+    }
+
     let fresh_full = fresh.smt_checks - fresh.smt_checks_skipped;
     let inc_full = inc.smt_checks - inc.smt_checks_skipped;
     // Ratio of fresh wall to incremental wall: > 1 means the
@@ -646,6 +717,22 @@ fn main() -> ExitCode {
         writeln!(json, "    \"benchmarks\": [{}]", times.join(", ")).unwrap();
         writeln!(json, "  }},").unwrap();
     }
+    writeln!(json, "  \"portfolio\": {{").unwrap();
+    writeln!(json, "    \"wall_s\": {:.3},", port_wall.as_secs_f64()).unwrap();
+    writeln!(json, "    \"threads\": {portfolio_threads},").unwrap();
+    let rows: Vec<String> = port_rows
+        .iter()
+        .map(|(n, t, v, w)| {
+            format!(
+                "{{\"name\": \"{n}\", \"wall_s\": {:.3}, \"verdict\": \"{v}\", \
+                 \"winner\": \"{w}\"}}",
+                t.as_secs_f64()
+            )
+        })
+        .collect();
+    writeln!(json, "    \"benchmarks\": [{}]", rows.join(", ")).unwrap();
+    writeln!(json, "  }},").unwrap();
+    writeln!(json, "  \"portfolio_solved\": {port_solved},").unwrap();
     writeln!(json, "  \"fresh_solved\": {fresh_solved},").unwrap();
     writeln!(json, "  \"incremental_solved\": {inc_solved},").unwrap();
     writeln!(json, "  \"fresh_vs_incremental_ratio\": {fresh_vs_inc:.3},").unwrap();

@@ -58,7 +58,8 @@ pub struct BenchReport {
     pub suite_size: u64,
     /// Per-benchmark budget, milliseconds.
     pub timeout_ms: f64,
-    /// The oracle modes (`fresh`, `incremental`).
+    /// The oracle modes (`fresh`, `incremental`) plus, since PR 9, the
+    /// `portfolio` section (same shape, racing all engines).
     pub modes: BTreeMap<String, ModeReport>,
     /// Definite verdicts per mode, from the report's top level.
     pub solved: BTreeMap<String, u64>,
@@ -82,7 +83,7 @@ impl BenchReport {
             timeout_ms,
             ..BenchReport::default()
         };
-        for mode in ["fresh", "incremental"] {
+        for mode in ["fresh", "incremental", "portfolio"] {
             let Some(m) = doc.get(mode) else { continue };
             let mut mr = ModeReport {
                 wall_s: m.get("wall_s").and_then(Json::as_f64).unwrap_or(0.0),

@@ -4,14 +4,10 @@
 
 pub mod compare;
 
-use linarb_baselines::{
-    DigLearner, InterpConfig, InterpMode, PdrConfig, PdrSolver, PieLearner, UnwindInterp,
-};
-use linarb_ml::LearnConfig;
+use linarb_portfolio::{solve_portfolio, EngineKind, EngineVerdict, PortfolioConfig};
 use linarb_smt::Budget;
 use linarb_solver::{CegarSolver, SolveResult, SolverConfig};
 use linarb_suite::{Benchmark, Expected};
-use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// The engines compared in the paper's evaluation.
@@ -33,6 +29,10 @@ pub enum Engine {
     Duality,
     /// Trace-by-trace interpolation (UAutomizer \[16\]).
     UAutomizer,
+    /// The portfolio driver racing all of the above (plus BMC); first
+    /// checkable certificate wins. Race width comes from
+    /// `LINARB_THREADS` (default 1 = sequential time slicing).
+    Portfolio,
 }
 
 impl Engine {
@@ -47,6 +47,23 @@ impl Engine {
             Engine::Spacer => "Spacer",
             Engine::Duality => "Duality",
             Engine::UAutomizer => "UAutomizer",
+            Engine::Portfolio => "Portfolio",
+        }
+    }
+
+    /// The portfolio engine this bench engine maps to; `None` for the
+    /// full portfolio race itself.
+    pub fn kind(self) -> Option<EngineKind> {
+        match self {
+            Engine::LinArb => Some(EngineKind::Cegar),
+            Engine::LinArbNoDt => Some(EngineKind::CegarNoDt),
+            Engine::Pie => Some(EngineKind::Pie),
+            Engine::Dig => Some(EngineKind::Dig),
+            Engine::Gpdr => Some(EngineKind::Gpdr),
+            Engine::Spacer => Some(EngineKind::Spacer),
+            Engine::Duality => Some(EngineKind::Duality),
+            Engine::UAutomizer => Some(EngineKind::UAutomizer),
+            Engine::Portfolio => None,
         }
     }
 }
@@ -81,30 +98,34 @@ impl RunOutcome {
     }
 }
 
-/// Runs `engine` on `bench` under `timeout`.
+/// Runs `engine` on `bench` under `timeout`. Dispatch goes through the
+/// portfolio crate's single-engine runner (one construction site for
+/// every engine's configuration); `Engine::Portfolio` races the
+/// default engine set.
 pub fn run_engine(engine: Engine, bench: &Benchmark, timeout: Duration) -> RunOutcome {
     let budget = Budget::timeout(timeout);
+    let pconfig = PortfolioConfig::from_env();
     let start = Instant::now();
-    let verdict = match engine {
-        Engine::LinArb => cegar(bench, SolverConfig::default(), &budget),
-        Engine::LinArbNoDt => {
-            let lc = LearnConfig { use_decision_tree: false, ..LearnConfig::default() };
-            cegar(bench, SolverConfig::with_learn_config(lc), &budget)
+    let verdict = match engine.kind() {
+        Some(kind) => match linarb_portfolio::run_engine(
+            kind,
+            &bench.system,
+            &budget,
+            None,
+            pconfig.bmc_max_depth,
+        ) {
+            EngineVerdict::Sat(_) => Verdict::Safe,
+            EngineVerdict::Unsat(_) => Verdict::Unsafe,
+            EngineVerdict::Unknown(_) => Verdict::Unknown,
+        },
+        None => {
+            let pconfig = pconfig.with_threads(env_or("LINARB_THREADS", 1usize));
+            match solve_portfolio(&bench.system, &pconfig, &budget).verdict {
+                EngineVerdict::Sat(_) => Verdict::Safe,
+                EngineVerdict::Unsat(_) => Verdict::Unsafe,
+                EngineVerdict::Unknown(_) => Verdict::Unknown,
+            }
         }
-        Engine::Pie => cegar(
-            bench,
-            SolverConfig::with_learner(Arc::new(PieLearner::default())),
-            &budget,
-        ),
-        Engine::Dig => cegar(
-            bench,
-            SolverConfig::with_learner(Arc::new(DigLearner)),
-            &budget,
-        ),
-        Engine::Gpdr => pdr(bench, false, &budget),
-        Engine::Spacer => pdr(bench, true, &budget),
-        Engine::Duality => interp(bench, InterpMode::Duality, &budget),
-        Engine::UAutomizer => interp(bench, InterpMode::TraceRefinement, &budget),
     };
     let time = start.elapsed();
     let correct = match verdict {
@@ -113,35 +134,6 @@ pub fn run_engine(engine: Engine, bench: &Benchmark, timeout: Duration) -> RunOu
         Verdict::Unsafe => Some(bench.expected == Expected::Unsafe),
     };
     RunOutcome { verdict, time, correct }
-}
-
-fn cegar(bench: &Benchmark, config: SolverConfig, budget: &Budget) -> Verdict {
-    let mut solver = CegarSolver::new(&bench.system, config);
-    match solver.solve(budget) {
-        SolveResult::Sat(_) => Verdict::Safe,
-        SolveResult::Unsat(_) => Verdict::Unsafe,
-        SolveResult::Unknown(_) => Verdict::Unknown,
-    }
-}
-
-fn pdr(bench: &Benchmark, spacer: bool, budget: &Budget) -> Verdict {
-    let config = PdrConfig { spacer_mode: spacer, ..PdrConfig::default() };
-    let mut solver = PdrSolver::new(&bench.system, config);
-    match solver.solve(budget) {
-        linarb_baselines::PdrResult::Sat(_) => Verdict::Safe,
-        linarb_baselines::PdrResult::Unsat => Verdict::Unsafe,
-        linarb_baselines::PdrResult::Unknown => Verdict::Unknown,
-    }
-}
-
-fn interp(bench: &Benchmark, mode: InterpMode, budget: &Budget) -> Verdict {
-    let config = InterpConfig { mode, ..InterpConfig::default() };
-    let mut solver = UnwindInterp::new(&bench.system, config);
-    match solver.solve(budget) {
-        linarb_baselines::InterpResult::Sat(_) => Verdict::Safe,
-        linarb_baselines::InterpResult::Unsat => Verdict::Unsafe,
-        linarb_baselines::InterpResult::Unknown => Verdict::Unknown,
-    }
 }
 
 /// Aggregate of a suite run for one engine.

@@ -104,6 +104,38 @@ pub trait Learner: Send + Sync {
     fn name(&self) -> &str;
 }
 
+/// A cross-engine seeding bus for portfolio runs.
+///
+/// When several engines race on one system, the losers can still help
+/// the winner: PDR publishes its inductive lemma atoms, interpolation
+/// its Farkas planes, and BMC the states of candidate counterexample
+/// prefixes. The CEGAR solver drains the bus at every round boundary —
+/// atoms flow into its [`SeedStore`] (bumping seed versions, so the
+/// learn memo invalidates naturally) and negatives into the sample
+/// stores (skipped when already derived positive, since a
+/// backward-reachable state that is also forward-derivable means the
+/// system is unsat and some engine is about to prove it).
+///
+/// Implementations live outside this crate (the portfolio driver); the
+/// trait is defined here so `linarb-baselines` engines can publish and
+/// [`CegarSolver`] can consume without a dependency cycle.
+///
+/// Attaching a bus makes the refinement trajectory dependent on engine
+/// timing, so it is never used on the deterministic single-engine
+/// paths.
+pub trait CrossSeed: Send + Sync {
+    /// Publishes a candidate separating atom for `pred`, expressed
+    /// over the predicate's parameters.
+    fn publish_atom(&self, pred: PredId, atom: &Atom);
+    /// Publishes a state of `pred` that no invariant may contain (it
+    /// reaches a goal violation).
+    fn publish_negative(&self, pred: PredId, sample: &Sample);
+    /// Drains the atoms published since the last call.
+    fn take_atoms(&self) -> Vec<(PredId, Atom)>;
+    /// Drains the negatives published since the last call.
+    fn take_negatives(&self) -> Vec<(PredId, Sample)>;
+}
+
 /// The default learner: the paper's machine-learning toolchain.
 #[derive(Clone, Debug, Default)]
 pub struct MlLearner {
@@ -194,6 +226,10 @@ pub struct SolverConfig {
     /// [`ProgressSnapshot`] per CEGAR round into the reporter (see
     /// [`progress`]). `None` (the default) costs nothing.
     pub progress: Option<ProgressReporter>,
+    /// Cross-engine seeding bus for portfolio runs (see [`CrossSeed`]):
+    /// drained at every round boundary. `None` (the default) keeps the
+    /// solver fully deterministic.
+    pub seed_channel: Option<Arc<dyn CrossSeed>>,
 }
 
 /// The `LINARB_THREADS` default for [`SolverConfig::threads`].
@@ -222,6 +258,7 @@ impl SolverConfig {
             seeding: seeding_from_env(),
             seed_atoms: Vec::new(),
             progress: None,
+            seed_channel: None,
         }
     }
 
@@ -236,6 +273,7 @@ impl SolverConfig {
             seeding: seeding_from_env(),
             seed_atoms: Vec::new(),
             progress: None,
+            seed_channel: None,
         }
     }
 
@@ -279,6 +317,13 @@ impl SolverConfig {
         self.progress = Some(progress);
         self
     }
+
+    /// Attaches a cross-engine seeding bus (see
+    /// [`SolverConfig::seed_channel`]).
+    pub fn with_seed_channel(mut self, channel: Arc<dyn CrossSeed>) -> SolverConfig {
+        self.seed_channel = Some(channel);
+        self
+    }
 }
 
 impl Default for SolverConfig {
@@ -291,7 +336,7 @@ impl fmt::Debug for SolverConfig {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "SolverConfig {{ learner: {}, max_iterations: {}, oracle: {:?}, oracle_reset: {}, threads: {}, seeding: {}, seed_atoms: {}, progress: {} }}",
+            "SolverConfig {{ learner: {}, max_iterations: {}, oracle: {:?}, oracle_reset: {}, threads: {}, seeding: {}, seed_atoms: {}, progress: {}, seed_channel: {} }}",
             self.learner.name(),
             self.max_iterations,
             self.oracle,
@@ -299,7 +344,8 @@ impl fmt::Debug for SolverConfig {
             self.threads,
             self.seeding,
             self.seed_atoms.len(),
-            self.progress.is_some()
+            self.progress.is_some(),
+            self.seed_channel.is_some()
         )
     }
 }
@@ -482,6 +528,13 @@ pub struct SolveStats {
     /// Learner invocations answered from the memo (dataset and seed
     /// store unchanged since the predicate's last learn).
     pub learn_memo_hits: usize,
+    /// Seed atoms accepted from the cross-engine bus (0 without a
+    /// [`CrossSeed`] channel; portfolio runs only, so inherently
+    /// timing-dependent and excluded from determinism comparisons).
+    pub cross_seed_atoms: usize,
+    /// Negative samples accepted from the cross-engine bus (0 without
+    /// a channel; excluded from determinism comparisons likewise).
+    pub cross_seed_negatives: usize,
 }
 
 impl SolveStats {
@@ -508,6 +561,8 @@ impl SolveStats {
         report.set_counter("core.seed_hits", self.seed_hits);
         report.set_counter("core.seeds_pruned", self.seeds_pruned as u64);
         report.set_counter("core.learn_memo_hits", self.learn_memo_hits as u64);
+        report.set_counter("core.cross_seed_atoms", self.cross_seed_atoms as u64);
+        report.set_counter("core.cross_seed_negatives", self.cross_seed_negatives as u64);
     }
 
     /// The statistics as a standalone JSON report.
@@ -978,6 +1033,11 @@ impl<'a> CegarSolver<'a> {
             if self.config.seeding {
                 self.seeds.prune_dead();
             }
+            // Round boundary: absorb whatever the racing engines have
+            // published since the last round (portfolio runs only).
+            if let Some(chan) = self.config.seed_channel.clone() {
+                self.drain_seed_channel(&*chan);
+            }
             self.round += 1;
             if self.config.progress.is_some() {
                 let snap = self.progress_snapshot(dirty.len(), budget);
@@ -1102,6 +1162,33 @@ impl<'a> CegarSolver<'a> {
         // Every clause validated.
         self.finalize_stats();
         SolveResult::Sat(self.interp.clone())
+    }
+
+    /// Absorbs cross-engine seeds published on the bus: atoms join the
+    /// seed store (when seeding is on — the same `LINARB_NO_SEED` kill
+    /// switch governs both seed sources), negatives join the sample
+    /// stores unless the state was already derived positive (then the
+    /// system is unsat and the contradiction is better surfaced by a
+    /// derivation than by poisoning the learner input).
+    fn drain_seed_channel(&mut self, chan: &dyn CrossSeed) {
+        if self.config.seeding {
+            for (p, atom) in chan.take_atoms() {
+                if let Some(pred) = self.sys.preds().iter().find(|q| q.id == p) {
+                    if self.seeds.add_atom(p, &atom, &pred.params) {
+                        self.stats.cross_seed_atoms += 1;
+                    }
+                }
+            }
+        }
+        for (p, sample) in chan.take_negatives() {
+            let Some(ds) = self.data.get_mut(&p) else { continue };
+            if sample.len() != ds.dim() || ds.contains_positive(&sample) {
+                continue;
+            }
+            if ds.add_negative(sample) {
+                self.stats.cross_seed_negatives += 1;
+            }
+        }
     }
 
     /// Assembles the per-round [`ProgressSnapshot`] (round barrier

@@ -1,0 +1,80 @@
+//! The cross-seeding bus shared by racing engines.
+
+use linarb_logic::{Atom, PredId};
+use linarb_ml::Sample;
+use linarb_solver::CrossSeed;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// A [`CrossSeed`] bus backed by mutexed buffers.
+///
+/// Baseline engines publish (PDR lemma atoms, interpolation Farkas
+/// planes, BMC counterexample states); the CEGAR solver drains at
+/// round boundaries. `take_*` empties the buffer, so exactly one
+/// consumer must be attached — the portfolio driver wires the bus
+/// into the primary CEGAR engine only.
+///
+/// The monotonic `*_published` counters survive draining; the
+/// sequential slicer uses them to decide whether re-running an engine
+/// can possibly change its answer.
+#[derive(Debug, Default)]
+pub struct SeedExchange {
+    atoms: Mutex<Vec<(PredId, Atom)>>,
+    negatives: Mutex<Vec<(PredId, Sample)>>,
+    atoms_published: AtomicUsize,
+    negatives_published: AtomicUsize,
+}
+
+impl SeedExchange {
+    /// Total atoms ever published (monotonic, unaffected by drains).
+    pub fn atoms_published(&self) -> usize {
+        self.atoms_published.load(Ordering::Relaxed)
+    }
+
+    /// Total negatives ever published (monotonic).
+    pub fn negatives_published(&self) -> usize {
+        self.negatives_published.load(Ordering::Relaxed)
+    }
+}
+
+impl CrossSeed for SeedExchange {
+    fn publish_atom(&self, pred: PredId, atom: &Atom) {
+        self.atoms.lock().unwrap().push((pred, atom.clone()));
+        self.atoms_published.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn publish_negative(&self, pred: PredId, sample: &Sample) {
+        self.negatives.lock().unwrap().push((pred, sample.clone()));
+        self.negatives_published.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn take_atoms(&self) -> Vec<(PredId, Atom)> {
+        std::mem::take(&mut *self.atoms.lock().unwrap())
+    }
+
+    fn take_negatives(&self) -> Vec<(PredId, Sample)> {
+        std::mem::take(&mut *self.negatives.lock().unwrap())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use linarb_logic::LinExpr;
+
+    #[test]
+    fn publish_take_and_counters() {
+        let bus = SeedExchange::default();
+        let atom = Atom::le_zero(LinExpr::var(linarb_logic::Var::from_index(0)));
+        bus.publish_atom(PredId(0), &atom);
+        bus.publish_atom(PredId(1), &atom);
+        bus.publish_negative(PredId(0), &vec![1.into(), 2.into()]);
+        assert_eq!(bus.atoms_published(), 2);
+        assert_eq!(bus.negatives_published(), 1);
+        assert_eq!(bus.take_atoms().len(), 2);
+        assert_eq!(bus.take_atoms().len(), 0, "drained");
+        assert_eq!(bus.take_negatives().len(), 1);
+        // Counters survive draining.
+        assert_eq!(bus.atoms_published(), 2);
+    }
+}

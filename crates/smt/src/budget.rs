@@ -25,8 +25,20 @@
 //! deterministic runs — tests, differential comparisons — should use
 //! per-search caps only. [`Budget::unlimited`] and friends never attach
 //! a pool; it is strictly opt-in.
+//!
+//! # Cooperative cancellation
+//!
+//! The portfolio driver races several engines under one budget and
+//! needs to stop the losers the moment a winner is certified. A budget
+//! can therefore carry a shared [`CancelToken`]
+//! ([`Budget::with_cancel_token`]): flipping the token makes
+//! [`Budget::exhausted`] (and its alias [`Budget::should_stop`]) return
+//! `true` on every clone, so each engine winds down at its next poll
+//! site — the same poll sites that already observe deadlines and
+//! drained conflict pools. Cancellation is level-triggered and
+//! irreversible for the life of the token.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -38,6 +50,45 @@ pub(crate) const DEFAULT_CONFLICT_LIMIT: u64 = 500_000;
 struct ConflictPool {
     limit: u64,
     used: AtomicU64,
+}
+
+/// A shared cancellation flag for cooperative early termination.
+///
+/// Cheap to clone (one `Arc`); once [`cancel`](CancelToken::cancel) is
+/// called every budget carrying this token reports
+/// [`exhausted`](Budget::exhausted), and every engine polling it winds
+/// down. Used by the portfolio driver to stop losing engines promptly.
+///
+/// ```
+/// use linarb_smt::{Budget, CancelToken};
+/// let token = CancelToken::new();
+/// let b = Budget::unlimited().with_cancel_token(token.clone());
+/// assert!(!b.should_stop());
+/// token.cancel();
+/// assert!(b.should_stop());
+/// assert!(b.exhausted());
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Flips the flag; every budget sharing this token is now
+    /// exhausted. Idempotent.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Has [`cancel`](CancelToken::cancel) been called?
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
 }
 
 /// A wall-clock + search-effort budget for a solving task.
@@ -69,6 +120,7 @@ pub struct Budget {
     deadline: Option<Instant>,
     conflict_limit: Option<u64>,
     pool: Option<Arc<ConflictPool>>,
+    cancel: Option<CancelToken>,
 }
 
 impl Budget {
@@ -79,6 +131,7 @@ impl Budget {
             deadline: None,
             conflict_limit: Some(DEFAULT_CONFLICT_LIMIT),
             pool: None,
+            cancel: None,
         }
     }
 
@@ -88,6 +141,7 @@ impl Budget {
             deadline: Some(Instant::now() + d),
             conflict_limit: Some(DEFAULT_CONFLICT_LIMIT),
             pool: None,
+            cancel: None,
         }
     }
 
@@ -97,6 +151,7 @@ impl Budget {
             deadline: Some(deadline),
             conflict_limit: Some(DEFAULT_CONFLICT_LIMIT),
             pool: None,
+            cancel: None,
         }
     }
 
@@ -116,6 +171,38 @@ impl Budget {
     pub fn with_global_conflict_limit(mut self, limit: u64) -> Budget {
         self.pool = Some(Arc::new(ConflictPool { limit, used: AtomicU64::new(0) }));
         self
+    }
+
+    /// Attaches a shared [`CancelToken`]: once the token is cancelled
+    /// (typically by a racing engine that produced a certified
+    /// verdict), this budget and every clone of it report
+    /// [`exhausted`](Budget::exhausted). Replaces any previously
+    /// attached token.
+    pub fn with_cancel_token(mut self, token: CancelToken) -> Budget {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// The attached cancellation token, if any.
+    pub fn cancel_token(&self) -> Option<&CancelToken> {
+        self.cancel.as_ref()
+    }
+
+    /// A copy of this budget with the cancellation token stripped.
+    /// The portfolio driver certificate-checks a winner *after*
+    /// cancelling the losers; the check must keep running under the
+    /// original deadline even though the shared token has flipped.
+    pub fn without_cancel(&self) -> Budget {
+        let mut b = self.clone();
+        b.cancel = None;
+        b
+    }
+
+    /// Was this budget cancelled through its token? (`false` without
+    /// one; deadline and conflict-pool exhaustion are *not* reported
+    /// here — use [`exhausted`](Budget::exhausted) for the union.)
+    pub fn cancelled(&self) -> bool {
+        self.cancel.as_ref().is_some_and(CancelToken::is_cancelled)
     }
 
     /// The per-search conflict cap (ignores the shared pool).
@@ -156,9 +243,13 @@ impl Budget {
         self.pool.as_ref().map(|p| p.used.load(Ordering::Relaxed)).unwrap_or(0)
     }
 
-    /// Returns `true` once the deadline has passed or the shared
-    /// conflict pool has run dry.
+    /// Returns `true` once the deadline has passed, the shared
+    /// conflict pool has run dry, or the cancellation token (if any)
+    /// has been flipped.
     pub fn exhausted(&self) -> bool {
+        if self.cancelled() {
+            return true;
+        }
         if self.global_conflicts_remaining() == Some(0) {
             return true;
         }
@@ -166,6 +257,14 @@ impl Budget {
             None => false,
             Some(d) => Instant::now() >= d,
         }
+    }
+
+    /// Alias for [`exhausted`](Budget::exhausted), named for inner-loop
+    /// poll sites: engines call `budget.should_stop()` at every
+    /// unbounded loop head so portfolio cancellation is prompt.
+    #[inline]
+    pub fn should_stop(&self) -> bool {
+        self.exhausted()
     }
 
     /// Time left, or `None` for unlimited budgets.
@@ -246,5 +345,34 @@ mod tests {
     fn budget_is_send_and_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<Budget>();
+        assert_send_sync::<CancelToken>();
+    }
+
+    #[test]
+    fn cancel_token_trips_every_clone() {
+        let token = CancelToken::new();
+        let a = Budget::unlimited().with_cancel_token(token.clone());
+        let b = a.clone();
+        assert!(!a.exhausted() && !b.should_stop() && !a.cancelled());
+        token.cancel();
+        assert!(a.cancelled() && b.cancelled());
+        assert!(a.exhausted() && b.exhausted());
+        assert!(a.should_stop() && b.should_stop());
+        // idempotent
+        token.cancel();
+        assert!(token.is_cancelled());
+    }
+
+    #[test]
+    fn cancellation_is_independent_of_other_limits() {
+        let token = CancelToken::new();
+        let b = Budget::timeout(Duration::from_secs(3600))
+            .with_global_conflict_limit(1_000)
+            .with_cancel_token(token.clone());
+        assert!(!b.exhausted());
+        token.cancel();
+        assert!(b.exhausted(), "cancel wins even with time and conflicts left");
+        assert_eq!(b.global_conflicts_remaining(), Some(1_000));
+        assert!(b.remaining().unwrap() > Duration::from_secs(3000));
     }
 }

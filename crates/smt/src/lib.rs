@@ -46,7 +46,7 @@ pub mod simplex;
 mod theory;
 mod tseitin;
 
-pub use budget::Budget;
+pub use budget::{Budget, CancelToken};
 pub use incremental::{find_countermodel_incremental, IncrementalSolver};
 pub use linarb_sat::Lit;
 pub use simplex::{BoundKind, Conflict, FarkasEntry};

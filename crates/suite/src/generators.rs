@@ -235,6 +235,87 @@ pub fn invgen_family(count: usize, seed: u64, category: Category) -> Vec<Benchma
     out
 }
 
+/// The harder tier: adversarial instances aimed at the portfolio race,
+/// each constructed so the CEGAR sampler is at a structural
+/// disadvantage while some *other* engine in the default race set has
+/// a shortcut. Three shapes:
+///
+/// * **Wide-bound counters** — the separating constant sits five
+///   orders of magnitude beyond any state sampling can reach, so
+///   hyperplane search wanders; PDR lifts the bound straight off the
+///   loop guard as an inductive lemma.
+/// * **Deep bugs** — the violation only manifests `n` steps in; BMC's
+///   iterative deepening walks straight to it, while the CEGAR loop
+///   has to grow its sample-derivation forest one refinement at a
+///   time.
+/// * **Multi-variable equations** — exact affine invariants over three
+///   lockstep variables, DIG's template sweet spot and the worst case
+///   for margin-based separation (every sample lies *on* the target
+///   plane).
+pub fn harder_tier(seed: u64) -> Vec<Benchmark> {
+    let mut rng = XorShiftRng::seed_from_u64(seed);
+    let mut out = Vec::new();
+    for k in 0..2 {
+        let n = 100_000 + rng.gen_range(0i64..=9) * 10_000;
+        let src = format!(
+            r#"
+            void main() {{
+                int x = 0;
+                while (x < {n}) {{ x = x + 1; }}
+                assert(x <= {n});
+            }}
+        "#
+        );
+        out.push(Benchmark::from_mini_c(
+            &format!("hard_wide_{k}"),
+            Category::LoopLit,
+            Expected::Safe,
+            &src,
+        ));
+    }
+    for k in 0..2 {
+        let n = 24 + rng.gen_range(0i64..=8) * 4;
+        let src = format!(
+            r#"
+            void main() {{
+                int x = 0;
+                while (*) {{ x = x + 1; assert(x != {n}); }}
+            }}
+        "#
+        );
+        out.push(Benchmark::from_mini_c(
+            &format!("hard_deep_{k}"),
+            Category::LoopLit,
+            Expected::Unsafe,
+            &src,
+        ));
+    }
+    for k in 0..2 {
+        let a = rng.gen_range(2i64..=5);
+        let b = a + rng.gen_range(1i64..=3);
+        let d = rng.gen_range(-3i64..=3);
+        let src = format!(
+            r#"
+            void main() {{
+                int x = {d}; int y = 0; int z = 0;
+                while (*) {{
+                    if (*) {{ x = x + {a}; y = y + 1; }}
+                    else {{ x = x + {b}; z = z + 1; }}
+                }}
+                assert(x == {a} * y + {b} * z + {d});
+            }}
+        "#
+        );
+        out.push(Benchmark::from_mini_c(
+            &format!("hard_equation_{k}"),
+            Category::DigLinear,
+            Expected::Safe,
+            &src,
+        ));
+    }
+    out
+}
+
 /// Product-line style: a controller loop over `k` optional features,
 /// each guarded by a 0/1 configuration variable. Program size grows
 /// linearly with `k`; the invariant stays simple.

@@ -25,8 +25,8 @@ mod literature;
 mod paper;
 
 pub use generators::{
-    counter_family, diamond_family, equation_family, invgen_family, nested_family,
-    ntdriver, phase_family, product_lines, psyco, recursive_family, systemc,
+    counter_family, diamond_family, equation_family, harder_tier, invgen_family,
+    nested_family, ntdriver, phase_family, product_lines, psyco, recursive_family, systemc,
 };
 pub use literature::{
     cggmp2005, gj2007, gj2007_bug, gr2006, half_counter, hhk2008, invgen_sum, jm2006,

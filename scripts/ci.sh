@@ -54,6 +54,33 @@ echo "== online/offline oracle differential gate =="
 # Repeated by name for the same cannot-skip-silently reason.
 cargo test -q --offline -p linarb-bench --test online_oracle_differential
 
+echo "== portfolio differential gate (1 and 4 threads) =="
+# The portfolio driver's verdicts must agree with every single engine
+# on the whole suite, winning certificates must check on both
+# polarities (SAT invariants verified clause-by-clause, UNSAT
+# derivations replayed), forced-winner mode must be deterministic, and
+# the harder tier must contain instances lone CEGAR times out on but
+# the portfolio solves. LINARB_THREADS picks the race width inside the
+# driver: 1 exercises sequential time slicing, 4 the concurrent race
+# with shared-budget cancellation. Repeated here by name so a filtered
+# CI invocation cannot skip it silently.
+LINARB_THREADS=1 cargo test -q --offline -p linarb-bench --test portfolio
+LINARB_THREADS=4 cargo test -q --offline -p linarb-bench --test portfolio
+
+echo "== portfolio CLI smoke =="
+# End-to-end through the binary: `--engine portfolio` must solve fig1
+# at both race widths, and the LINARB_PORTFOLIO_FORCE override must
+# pin the winner (cegar solves fig1; the paper reports Spacer
+# diverging on it, which is exactly why the forced engine is cegar).
+for t in 1 4; do
+    out="$(cargo run --release --offline -p linarb --bin linarb -- \
+        --engine portfolio --threads "$t" --timeout-ms 60000 examples/fig1.smt2)"
+    [ "$out" = "sat" ] || { echo "portfolio CLI: fig1 at $t threads got '$out'" >&2; exit 1; }
+done
+out="$(LINARB_PORTFOLIO_FORCE=cegar cargo run --release --offline -p linarb --bin linarb -- \
+    --engine portfolio --timeout-ms 60000 examples/fig1.smt2)"
+[ "$out" = "sat" ] || { echo "portfolio CLI: forced cegar on fig1 got '$out'" >&2; exit 1; }
+
 echo "== trace smoke (structured JSONL trace of one benchmark) =="
 # Solve a benchmark with tracing on, then validate that the emitted
 # trace is non-empty, well-formed JSONL containing spans from every

@@ -22,6 +22,7 @@
 //! | [`solver`] | `linarb-solver` | Algorithm 3 (the CEGAR CHC solver) |
 //! | [`frontend`] | `linarb-frontend` | mini-C → CHC |
 //! | [`baselines`] | `linarb-baselines` | BMC, GPDR/Spacer, Duality/UAutomizer, PIE, DIG |
+//! | [`portfolio`] | `linarb-portfolio` | races all engines, first checkable certificate wins |
 //! | [`suite`] | `linarb-suite` | the benchmark corpus |
 //!
 //! # Quickstart
@@ -51,6 +52,7 @@ pub use linarb_frontend as frontend;
 pub use linarb_logic as logic;
 pub use linarb_ml as ml;
 pub use linarb_pool as pool;
+pub use linarb_portfolio as portfolio;
 pub use linarb_sat as sat;
 pub use linarb_smt as smt;
 pub use linarb_solver as solver;

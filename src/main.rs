@@ -6,6 +6,7 @@
 //! are exposed via `--trace`, `--trace-out`, and `--stats`.
 
 use linarb::ml::LearnConfig;
+use linarb::portfolio::{self, EngineKind, EngineVerdict, PortfolioConfig};
 use linarb::smt::Budget;
 use linarb::solver::{CegarSolver, OracleMode, SolveResult, SolverConfig};
 use linarb::trace::{self, Level};
@@ -23,6 +24,14 @@ options:
   --stats                         print the end-of-run metrics report
                                   (counters, histograms, span timers) as
                                   JSON on stdout
+  --engine <name>                 `portfolio` races cegar, pie, dig,
+                                  spacer, bmc, and duality under one
+                                  shared budget (first checkable
+                                  certificate wins; --threads sets the
+                                  race width); any single engine name
+                                  runs just that engine with its
+                                  certificate checked. Omit the flag
+                                  for the classic CEGAR path
   --oracle <incremental|fresh>    SMT oracle mode (default incremental)
   --oracle-reset                  reset SAT decision heuristics between
                                   incremental checks
@@ -50,8 +59,18 @@ options:
 
 exit status: 0 = sat/unsat decided, 2 = unknown, 1 = error";
 
+/// What `--engine` selected.
+#[derive(Clone, Copy)]
+enum EngineSel {
+    /// Race the default engine set.
+    Portfolio,
+    /// Run exactly one engine (certificate still checked).
+    Single(EngineKind),
+}
+
 struct Cli {
     file: Option<String>,
+    engine: Option<EngineSel>,
     trace_level: Level,
     trace_out: Option<String>,
     stats: bool,
@@ -71,6 +90,7 @@ struct Cli {
 fn parse_args() -> Result<Cli, String> {
     let mut cli = Cli {
         file: None,
+        engine: None,
         trace_level: Level::Off,
         trace_out: None,
         stats: false,
@@ -97,6 +117,23 @@ fn parse_args() -> Result<Cli, String> {
                 let v = value("--trace")?;
                 cli.trace_level = Level::parse(&v)
                     .ok_or_else(|| format!("bad --trace level `{v}`"))?;
+            }
+            "--engine" => {
+                let v = value("--engine")?;
+                cli.engine = Some(if v == "portfolio" {
+                    EngineSel::Portfolio
+                } else {
+                    EngineSel::Single(EngineKind::parse(&v).ok_or_else(|| {
+                        format!(
+                            "bad --engine `{v}` (expected portfolio or one of: {})",
+                            EngineKind::all()
+                                .iter()
+                                .map(|k| k.name())
+                                .collect::<Vec<_>>()
+                                .join(", ")
+                        )
+                    })?)
+                });
             }
             "--trace-out" => cli.trace_out = Some(value("--trace-out")?),
             "--stats" => cli.stats = true,
@@ -267,8 +304,29 @@ fn main() -> ExitCode {
     // profiler enabled; dropping it after export re-disables profiling.
     let pscope = cli.profile.then(trace::ProfileScope::new);
     let start = std::time::Instant::now();
-    let mut solver = CegarSolver::new(&sys, config);
-    let result = solver.solve(&budget);
+    // Either the portfolio driver (`--engine ...`) or the classic
+    // direct CEGAR path; exactly one of the two is `Some` afterwards.
+    let mut cegar = None;
+    let mut race = None;
+    match cli.engine {
+        Some(sel) => {
+            let mut pconfig = PortfolioConfig::from_env();
+            pconfig.threads = cli
+                .threads
+                .or_else(|| std::env::var("LINARB_THREADS").ok()?.parse().ok())
+                .unwrap_or(1);
+            if let EngineSel::Single(kind) = sel {
+                // CLI selection beats LINARB_PORTFOLIO_FORCE.
+                pconfig.force = Some(kind);
+            }
+            race = Some(portfolio::solve_portfolio(&sys, &pconfig, &budget));
+        }
+        None => {
+            let mut solver = CegarSolver::new(&sys, config);
+            let result = solver.solve(&budget);
+            cegar = Some((solver, result));
+        }
+    }
     let wall = start.elapsed();
     if let Some(ps) = &pscope {
         let tree = ps.take_tree();
@@ -315,19 +373,43 @@ fn main() -> ExitCode {
         }
     }
 
-    let (verdict, code) = match &result {
-        SolveResult::Sat(_) => ("sat", ExitCode::SUCCESS),
-        SolveResult::Unsat(_) => ("unsat", ExitCode::SUCCESS),
-        SolveResult::Unknown(_) => ("unknown", ExitCode::from(2)),
+    let (verdict, code) = match (&cegar, &race) {
+        (Some((_, result)), _) => match result {
+            SolveResult::Sat(_) => ("sat", ExitCode::SUCCESS),
+            SolveResult::Unsat(_) => ("unsat", ExitCode::SUCCESS),
+            SolveResult::Unknown(_) => ("unknown", ExitCode::from(2)),
+        },
+        (None, Some(out)) => match &out.verdict {
+            EngineVerdict::Sat(_) => ("sat", ExitCode::SUCCESS),
+            EngineVerdict::Unsat(_) => ("unsat", ExitCode::SUCCESS),
+            EngineVerdict::Unknown(_) => ("unknown", ExitCode::from(2)),
+        },
+        (None, None) => unreachable!("one of the paths always runs"),
     };
     println!("{verdict}");
-    if let SolveResult::Unknown(reason) = &result {
+    if let Some((_, SolveResult::Unknown(reason))) = &cegar {
         eprintln!("linarb: unknown: {reason:?}");
+    }
+    if let Some(out) = &race {
+        if let EngineVerdict::Unknown(reason) = &out.verdict {
+            eprintln!("linarb: unknown: {reason}");
+        }
+        // Per-engine outcome/time/winner table on stderr.
+        if cli.stats || cli.progress {
+            for line in out.summary_lines() {
+                eprintln!("portfolio: {line}");
+            }
+        }
     }
 
     if collect_metrics {
         let mut report = trace::metrics::take_report();
-        solver.stats().export_into(&mut report);
+        if let Some((solver, _)) = &cegar {
+            solver.stats().export_into(&mut report);
+        }
+        if let Some(out) = &race {
+            out.export_into(&mut report);
+        }
         report.set_counter("cli.wall_us", wall.as_micros() as u64);
         trace::emit_metrics(&report);
         if cli.stats {

@@ -98,7 +98,7 @@ fn all_engines_sound_on_mixed_sample() {
         for config in [
             SolverConfig::default(),
             SolverConfig::with_learner(Arc::new(PieLearner::default())),
-            SolverConfig::with_learner(Arc::new(DigLearner)),
+            SolverConfig::with_learner(Arc::new(DigLearner::default())),
         ] {
             let name = format!("{config:?}");
             match solve_system(&bench.system, config, &short) {
@@ -121,7 +121,7 @@ fn all_engines_sound_on_mixed_sample() {
                 linarb::baselines::PdrResult::Sat(_) => {
                     assert_eq!(bench.expected, Expected::Safe, "{} pdr", bench.name)
                 }
-                linarb::baselines::PdrResult::Unsat => {
+                linarb::baselines::PdrResult::Unsat(_) => {
                     assert_eq!(bench.expected, Expected::Unsafe, "{} pdr", bench.name)
                 }
                 linarb::baselines::PdrResult::Unknown => {}
@@ -137,7 +137,7 @@ fn all_engines_sound_on_mixed_sample() {
                 linarb::baselines::InterpResult::Sat(_) => {
                     assert_eq!(bench.expected, Expected::Safe, "{} interp", bench.name)
                 }
-                linarb::baselines::InterpResult::Unsat => {
+                linarb::baselines::InterpResult::Unsat { .. } => {
                     assert_eq!(bench.expected, Expected::Unsafe, "{} interp", bench.name)
                 }
                 linarb::baselines::InterpResult::Unknown => {}
