@@ -48,6 +48,7 @@ use linarb_baselines::{InterpConfig, UnwindInterp};
 use linarb_bench::compare::{compare, BenchReport, CompareOptions};
 use linarb_bench::env_or;
 use linarb_portfolio::{solve_portfolio, PortfolioConfig};
+use linarb_serve::replay::{run_replay, ReplayConfig};
 use linarb_smt::Budget;
 use linarb_solver::{CegarSolver, OracleMode, SolveResult, SolverConfig};
 use linarb_suite::{even_odd, fibo_unsafe, fig1, program_a, program_c_fibo};
@@ -614,6 +615,57 @@ fn main() -> ExitCode {
         );
     }
 
+    // Serve replay: the daemon's structural invariant cache against a
+    // mutated-variant stream (rename/reorder/scale exact-class
+    // mutations plus constant perturbations; see
+    // `linarb_serve::replay`). The base set is the suite minus
+    // `program_a`/`jm2006`-class instances whose perturbed variants
+    // are pathologically harder than the base — those belong to the
+    // oracle-mode sections above, not to a cache-throughput
+    // measurement. 125 variants per base × 8 bases = 1000 mutants.
+    let replay_variants = env_or("LINARB_SMOKE_REPLAY_VARIANTS", 125usize);
+    let replay_bases: Vec<(String, linarb_logic::ChcSystem)> = [
+        fig1(),
+        fibo_unsafe(),
+        even_odd(),
+        linarb_suite::cggmp2005(),
+        linarb_suite::hhk2008(),
+        linarb_suite::invgen_sum(),
+        program_c_fibo(),
+        linarb_suite::jm2006(),
+    ]
+    .into_iter()
+    .map(|b| (b.name.clone(), b.system))
+    .collect();
+    eprintln!(
+        "== serve replay ({} bases x {} variants) ==",
+        replay_bases.len(),
+        replay_variants
+    );
+    let replay_cfg = ReplayConfig { variants_per_base: replay_variants, ..ReplayConfig::default() };
+    let serve_out = run_replay(&replay_bases, &replay_cfg);
+    assert_eq!(
+        serve_out.mismatches, 0,
+        "serve cache changed a verdict against the cold engine"
+    );
+    let hit_rate = |hits: u64| hits as f64 / serve_out.jobs.max(1) as f64;
+    eprintln!(
+        "  warm {:.2}s ({:.0} solves/s, exact {} near {} miss {}) vs cold {:.2}s \
+         ({:.0} solves/s) -> {:.2}x; p50 {}us p99 {}us; unknown warm {} cold {}",
+        serve_out.warm.wall_s,
+        serve_out.warm.throughput,
+        serve_out.warm.exact_hits,
+        serve_out.warm.near_hits,
+        serve_out.warm.misses,
+        serve_out.cold.wall_s,
+        serve_out.cold.throughput,
+        serve_out.speedup,
+        serve_out.warm.p50_us,
+        serve_out.warm.p99_us,
+        serve_out.warm.unknown,
+        serve_out.cold.unknown
+    );
+
     let fresh_full = fresh.smt_checks - fresh.smt_checks_skipped;
     let inc_full = inc.smt_checks - inc.smt_checks_skipped;
     // Ratio of fresh wall to incremental wall: > 1 means the
@@ -743,6 +795,33 @@ fn main() -> ExitCode {
     .unwrap();
     writeln!(json, "  \"full_check_delta\": {check_delta:.3},").unwrap();
     writeln!(json, "  \"speedup_warnings\": [{}],", speedup_warnings.join(", ")).unwrap();
+    writeln!(json, "  \"serve\": {{").unwrap();
+    writeln!(json, "    \"bases\": {},", serve_out.bases).unwrap();
+    writeln!(json, "    \"variants_per_base\": {replay_variants},").unwrap();
+    writeln!(json, "    \"jobs\": {},", serve_out.jobs).unwrap();
+    for (label, side) in [("warm", &serve_out.warm), ("cold", &serve_out.cold)] {
+        writeln!(
+            json,
+            "    \"{label}\": {{\"wall_s\": {:.3}, \"throughput\": {:.1}, \
+             \"p50_us\": {}, \"p99_us\": {}, \"exact_hits\": {}, \"near_hits\": {}, \
+             \"misses\": {}, \"verify_failures\": {}, \"unknown\": {}}},",
+            side.wall_s,
+            side.throughput,
+            side.p50_us,
+            side.p99_us,
+            side.exact_hits,
+            side.near_hits,
+            side.misses,
+            side.verify_failures,
+            side.unknown
+        )
+        .unwrap();
+    }
+    writeln!(json, "    \"speedup\": {:.2},", serve_out.speedup).unwrap();
+    writeln!(json, "    \"exact_hit_rate\": {:.3},", hit_rate(serve_out.warm.exact_hits)).unwrap();
+    writeln!(json, "    \"near_hit_rate\": {:.3},", hit_rate(serve_out.warm.near_hits)).unwrap();
+    writeln!(json, "    \"mismatches\": {}", serve_out.mismatches).unwrap();
+    writeln!(json, "  }},").unwrap();
     writeln!(json, "  \"parallel\": {{").unwrap();
     let names: Vec<String> =
         par_suite.iter().map(|b| format!("\"{}\"", b.name)).collect();

@@ -68,7 +68,33 @@ pub struct BenchReport {
     /// Structured `speedup_warnings` entries (raw JSON objects,
     /// re-rendered in the diff).
     pub speedup_warnings: Vec<String>,
+    /// Top-level fields this comparer does not understand — reports
+    /// from newer harness versions carry sections older gates never
+    /// heard of. They are ignored for gating and listed as a note in
+    /// the diff, so a BENCH trajectory stays comparable across harness
+    /// generations.
+    pub unrecognized: Vec<String>,
 }
+
+/// Top-level report fields this comparer understands (everything else
+/// is noted and ignored — see [`BenchReport::unrecognized`]).
+const KNOWN_FIELDS: &[&str] = &[
+    "suite_size",
+    "timeout_ms",
+    "fresh",
+    "incremental",
+    "portfolio",
+    "serve",
+    "fresh_solved",
+    "incremental_solved",
+    "portfolio_solved",
+    "fresh_vs_incremental_ratio",
+    "solved_subset_fresh_vs_incremental_ratio",
+    "full_check_delta",
+    "speedup",
+    "speedup_warnings",
+    "parallel",
+];
 
 impl BenchReport {
     /// Parses a report out of JSON text. `label` names the source in
@@ -126,6 +152,13 @@ impl BenchReport {
             for w in warns {
                 report.speedup_warnings.push(render_json(w));
             }
+        }
+        if let Json::Obj(m) = &doc {
+            report.unrecognized = m
+                .keys()
+                .filter(|k| !KNOWN_FIELDS.contains(&k.as_str()))
+                .cloned()
+                .collect();
         }
         Some(report)
     }
@@ -365,6 +398,20 @@ pub fn compare(prev: &BenchReport, cur: &BenchReport, opts: CompareOptions) -> C
         }
     }
 
+    // Forward compatibility: newer reports may carry sections this
+    // comparer predates. They never gate; they are only noted.
+    for (rep, role) in [(prev, "older"), (cur, "newer")] {
+        if !rep.unrecognized.is_empty() {
+            let _ = writeln!(
+                md,
+                "\n> Note: {} ({role} report) carries fields unknown to this comparer, \
+                 ignored for gating: {}.",
+                rep.label,
+                rep.unrecognized.join(", ")
+            );
+        }
+    }
+
     let _ = writeln!(md, "\n## Verdict\n");
     if out.failures.is_empty() {
         let _ = writeln!(md, "**PASS** — no solved-count or gated wall regression.");
@@ -489,6 +536,37 @@ mod tests {
         let prev = report("prev", 0.02, 0.02, 2, "sat");
         let cur = report("cur", 0.06, 0.06, 2, "sat");
         assert!(compare(&prev, &cur, CompareOptions::default()).passed());
+    }
+
+    #[test]
+    fn unknown_top_level_fields_are_noted_not_gated() {
+        let prev = report("prev", 1.0, 2.0, 2, "sat");
+        // A report from a future harness: an extra top-level section
+        // this comparer has never heard of.
+        let text = r#"{
+          "suite_size": 2, "timeout_ms": 30000,
+          "fresh": {"wall_s": 3.0, "benchmarks": [
+            {"name": "a", "wall_s": 1.0, "verdict": "sat"},
+            {"name": "b", "wall_s": 2.0, "verdict": "sat"}]},
+          "incremental": {"wall_s": 3.0, "benchmarks": [
+            {"name": "a", "wall_s": 1.0, "verdict": "sat"},
+            {"name": "b", "wall_s": 2.0, "verdict": "sat"}]},
+          "fresh_solved": 2,
+          "incremental_solved": 2,
+          "quantum_oracle": {"qubits": 17},
+          "novel_metric": 42
+        }"#;
+        let cur = BenchReport::parse("cur", text).unwrap();
+        assert_eq!(cur.unrecognized, vec!["novel_metric", "quantum_oracle"]);
+        let cmp = compare(&prev, &cur, CompareOptions::default());
+        assert!(cmp.passed(), "unknown fields must not gate: {:?}", cmp.failures);
+        assert!(
+            cmp.markdown.contains("novel_metric, quantum_oracle"),
+            "diff must note the ignored fields:\n{}",
+            cmp.markdown
+        );
+        // The current report shape itself parses clean.
+        assert!(prev.unrecognized.is_empty());
     }
 
     #[test]

@@ -50,7 +50,7 @@
 use linarb_arith::BigInt;
 use linarb_logic::{
     Atom, ChcSystem, Clause, ClauseHead, ClauseId, Formula, Interpretation, LinExpr, Model,
-    PredId, Var,
+    PredApp, PredId, Var,
 };
 use linarb_ml::{learn, learn_seeded, Dataset, LearnConfig, LearnError, Sample, SeedPlane, SeedStore};
 use linarb_pool::Pool;
@@ -230,6 +230,25 @@ pub struct SolverConfig {
     /// drained at every round boundary. `None` (the default) keeps the
     /// solver fully deterministic.
     pub seed_channel: Option<Arc<dyn CrossSeed>>,
+    /// Countermodel-selection heuristic: after every satisfiable
+    /// oracle check, greedily shrink the countermodel's coordinates
+    /// toward zero (coordinate descent over cheap `eval` calls,
+    /// deterministic variable order) while it still witnesses
+    /// invalidity. Samples nearer the integer hull of the feasible
+    /// region generalize better, which empirically tames the
+    /// incremental oracle's wandering trajectories on `program_a`-like
+    /// instances. Defaults to `LINARB_MODEL_MIN=1`, else off (the
+    /// knob changes solve trajectories, so the default preserves the
+    /// established BENCH baselines). `SolveStats::{model_min_improved,
+    /// model_min_kept}` record which choice won each check.
+    pub minimize_models: bool,
+    /// Warm-start state captured from a previous solve of a
+    /// structurally similar system (see [`SolveSnapshot`]): negative
+    /// samples and seed directions are imported up front, and
+    /// persistent clause contexts are adopted for clauses that are
+    /// value-identical to their snapshotted counterparts. `None` (the
+    /// default) starts cold.
+    pub warm_start: Option<Arc<SolveSnapshot>>,
 }
 
 /// The `LINARB_THREADS` default for [`SolverConfig::threads`].
@@ -246,6 +265,11 @@ fn seeding_from_env() -> bool {
     !std::env::var("LINARB_NO_SEED").is_ok_and(|s| s.trim() == "1")
 }
 
+/// The `LINARB_MODEL_MIN` default for [`SolverConfig::minimize_models`].
+fn minimize_from_env() -> bool {
+    std::env::var("LINARB_MODEL_MIN").is_ok_and(|s| s.trim() == "1")
+}
+
 impl SolverConfig {
     /// The paper's configuration with a custom learning pipeline.
     pub fn with_learn_config(learn: LearnConfig) -> SolverConfig {
@@ -259,6 +283,8 @@ impl SolverConfig {
             seed_atoms: Vec::new(),
             progress: None,
             seed_channel: None,
+            minimize_models: minimize_from_env(),
+            warm_start: None,
         }
     }
 
@@ -274,6 +300,8 @@ impl SolverConfig {
             seed_atoms: Vec::new(),
             progress: None,
             seed_channel: None,
+            minimize_models: minimize_from_env(),
+            warm_start: None,
         }
     }
 
@@ -324,6 +352,20 @@ impl SolverConfig {
         self.seed_channel = Some(channel);
         self
     }
+
+    /// Enables or disables the countermodel-minimization heuristic
+    /// (see [`SolverConfig::minimize_models`]).
+    pub fn with_minimize_models(mut self, minimize: bool) -> SolverConfig {
+        self.minimize_models = minimize;
+        self
+    }
+
+    /// Attaches warm-start state from a previous solve (see
+    /// [`SolverConfig::warm_start`]).
+    pub fn with_warm_start(mut self, snapshot: Arc<SolveSnapshot>) -> SolverConfig {
+        self.warm_start = Some(snapshot);
+        self
+    }
 }
 
 impl Default for SolverConfig {
@@ -336,7 +378,7 @@ impl fmt::Debug for SolverConfig {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "SolverConfig {{ learner: {}, max_iterations: {}, oracle: {:?}, oracle_reset: {}, threads: {}, seeding: {}, seed_atoms: {}, progress: {}, seed_channel: {} }}",
+            "SolverConfig {{ learner: {}, max_iterations: {}, oracle: {:?}, oracle_reset: {}, threads: {}, seeding: {}, seed_atoms: {}, progress: {}, seed_channel: {}, minimize_models: {}, warm_start: {} }}",
             self.learner.name(),
             self.max_iterations,
             self.oracle,
@@ -345,7 +387,9 @@ impl fmt::Debug for SolverConfig {
             self.seeding,
             self.seed_atoms.len(),
             self.progress.is_some(),
-            self.seed_channel.is_some()
+            self.seed_channel.is_some(),
+            self.minimize_models,
+            self.warm_start.is_some()
         )
     }
 }
@@ -535,6 +579,20 @@ pub struct SolveStats {
     /// Negative samples accepted from the cross-engine bus (0 without
     /// a channel; excluded from determinism comparisons likewise).
     pub cross_seed_negatives: usize,
+    /// Satisfiable oracle checks whose countermodel the minimization
+    /// heuristic improved (moved at least one coordinate toward
+    /// zero). 0 unless [`SolverConfig::minimize_models`] is on.
+    pub model_min_improved: u64,
+    /// Satisfiable oracle checks where minimization kept the solver's
+    /// original countermodel (already coordinate-minimal).
+    pub model_min_kept: u64,
+    /// Persistent clause contexts adopted from a warm-start snapshot
+    /// (0 without [`SolverConfig::warm_start`]).
+    pub warm_contexts: usize,
+    /// Negative samples imported from a warm-start snapshot.
+    pub warm_negatives: usize,
+    /// Seed directions imported from a warm-start snapshot.
+    pub warm_seed_dirs: usize,
 }
 
 impl SolveStats {
@@ -563,6 +621,11 @@ impl SolveStats {
         report.set_counter("core.learn_memo_hits", self.learn_memo_hits as u64);
         report.set_counter("core.cross_seed_atoms", self.cross_seed_atoms as u64);
         report.set_counter("core.cross_seed_negatives", self.cross_seed_negatives as u64);
+        report.set_counter("core.model_min_improved", self.model_min_improved);
+        report.set_counter("core.model_min_kept", self.model_min_kept);
+        report.set_counter("core.warm_contexts", self.warm_contexts as u64);
+        report.set_counter("core.warm_negatives", self.warm_negatives as u64);
+        report.set_counter("core.warm_seed_dirs", self.warm_seed_dirs as u64);
     }
 
     /// The statistics as a standalone JSON report.
@@ -615,6 +678,112 @@ impl ClauseContext {
     }
 }
 
+/// Warm-start state captured from a finished solve — the PR 2
+/// persistence (per-clause DPLL(T) contexts with their learned
+/// clauses, guard caches and saved branching state) plus the negative
+/// sample stores and the harvested seed directions.
+/// [`CegarSolver::snapshot`] captures it; [`SolverConfig::with_warm_start`]
+/// replays it into a new solve, typically of a *different but
+/// structurally similar* system (the serve daemon's near-miss tier).
+///
+/// Soundness: negatives only bias the learner (every `Sat` verdict is
+/// still oracle-verified clause by clause, and `Unsat` derivations
+/// are built exclusively from positives derived in-system), seed
+/// directions are purely advisory, and a context is adopted only for
+/// a clause that is value-identical to its snapshotted origin
+/// (constraint, body applications, head — ids aside), so the
+/// context's permanent assertions encode exactly the new clause.
+#[derive(Clone, Default)]
+pub struct SolveSnapshot {
+    /// Origin clause (for the adoption equality check) and its
+    /// persistent context.
+    contexts: Vec<(Clause, ClauseContext)>,
+    /// Negative samples per predicate.
+    pub negatives: Vec<(PredId, Sample)>,
+    /// Seed-store directions per predicate.
+    pub seed_dirs: Vec<(PredId, Vec<BigInt>)>,
+}
+
+/// Structural clause equality ignoring the id — the warm-start
+/// adoption criterion.
+fn clause_eq_mod_id(a: &Clause, b: &Clause) -> bool {
+    a.constraint == b.constraint && a.body_preds == b.body_preds && a.head == b.head
+}
+
+impl SolveSnapshot {
+    /// Whether the snapshot carries any state at all.
+    pub fn is_empty(&self) -> bool {
+        self.contexts.is_empty() && self.negatives.is_empty() && self.seed_dirs.is_empty()
+    }
+
+    /// Number of snapshotted clause contexts.
+    pub fn num_contexts(&self) -> usize {
+        self.contexts.len()
+    }
+
+    /// Rewrites every predicate reference through `map` (producer id →
+    /// consumer id), dropping entries whose predicate has no image —
+    /// the bridge for transplanting a snapshot onto a different,
+    /// structurally matched system (canonical indices on both sides
+    /// define the map). Clause variables are left untouched: the
+    /// adoption equality check in [`CegarSolver::new`] decides clause
+    /// by clause whether a context still applies verbatim.
+    pub fn remap_preds(&self, map: &HashMap<PredId, PredId>) -> SolveSnapshot {
+        let remap_app = |app: &PredApp| -> Option<PredApp> {
+            map.get(&app.pred).map(|&p| PredApp::new(p, app.args.clone()))
+        };
+        let mut contexts = Vec::new();
+        'ctx: for (clause, ctx) in &self.contexts {
+            let mut body = Vec::with_capacity(clause.body_preds.len());
+            for app in &clause.body_preds {
+                match remap_app(app) {
+                    Some(a) => body.push(a),
+                    None => continue 'ctx,
+                }
+            }
+            let head = match &clause.head {
+                ClauseHead::Pred(app) => match remap_app(app) {
+                    Some(a) => ClauseHead::Pred(a),
+                    None => continue 'ctx,
+                },
+                ClauseHead::Goal(g) => ClauseHead::Goal(g.clone()),
+            };
+            let mut ctx = ctx.clone();
+            // Guard bookkeeping carries predicate ids for seed-core
+            // accounting; remap it too (dropping unmapped entries —
+            // only heuristics read it).
+            ctx.guard_dirs = ctx
+                .guard_dirs
+                .iter()
+                .map(|(lit, dirs)| {
+                    let dirs = dirs
+                        .iter()
+                        .filter_map(|(p, d)| map.get(p).map(|&np| (np, d.clone())))
+                        .collect();
+                    (*lit, dirs)
+                })
+                .collect();
+            contexts.push((
+                Clause { id: clause.id, body_preds: body, constraint: clause.constraint.clone(), head },
+                ctx,
+            ));
+        }
+        SolveSnapshot {
+            contexts,
+            negatives: self
+                .negatives
+                .iter()
+                .filter_map(|(p, s)| map.get(p).map(|&np| (np, s.clone())))
+                .collect(),
+            seed_dirs: self
+                .seed_dirs
+                .iter()
+                .filter_map(|(p, d)| map.get(p).map(|&np| (np, d.clone())))
+                .collect(),
+        }
+    }
+}
+
 /// Statistics accumulated by one oracle check, kept separate from
 /// [`SolveStats`] so checks can run on worker threads and be folded
 /// into the solver's totals at merge time (in frontier order).
@@ -629,6 +798,10 @@ struct CheckDelta {
     /// at merge time (frontier order), so seed pruning is identical at
     /// every thread count.
     core_notes: Vec<(PredId, Vec<BigInt>, bool)>,
+    /// Countermodel-minimization outcomes (see
+    /// [`SolverConfig::minimize_models`]).
+    model_min_improved: u64,
+    model_min_kept: u64,
 }
 
 /// Everything a speculative pre-check task sends back to the merge
@@ -681,6 +854,7 @@ fn oracle_check(
     mode: OracleMode,
     reset_decisions: bool,
     collect_cores: bool,
+    minimize: bool,
     ctx_slot: &mut Option<ClauseContext>,
     budget: &Budget,
     delta: &mut CheckDelta,
@@ -690,13 +864,28 @@ fn oracle_check(
     let mut span = linarb_trace::span(Level::Debug, "core", "core.oracle");
     delta.smt_checks += 1;
     let result = match mode {
-        OracleMode::Fresh => check_sat(&sys.validity_check(clause, interp), budget),
+        OracleMode::Fresh => {
+            let chk = sys.validity_check(clause, interp);
+            match check_sat(&chk, budget) {
+                SmtResult::Sat(m) if minimize => {
+                    let (m, improved) = minimize_countermodel(&chk, &m);
+                    if improved {
+                        delta.model_min_improved += 1;
+                    } else {
+                        delta.model_min_kept += 1;
+                    }
+                    SmtResult::Sat(m)
+                }
+                r => r,
+            }
+        }
         OracleMode::Incremental => oracle_check_incremental(
             sys,
             interp,
             clause,
             reset_decisions,
             collect_cores,
+            minimize,
             ctx_slot,
             budget,
             delta,
@@ -716,6 +905,7 @@ fn oracle_check_incremental(
     clause: &Clause,
     reset_decisions: bool,
     collect_cores: bool,
+    minimize: bool,
     ctx_slot: &mut Option<ClauseContext>,
     budget: &Budget,
     delta: &mut CheckDelta,
@@ -783,7 +973,22 @@ fn oracle_check_incremental(
         let piece = Formula::not(app.instantiate(f, params));
         add_piece(piece, dirs, ctx, &mut delta.ctx_reuse_hits);
     }
-    let result = ctx.solver.check(&active, budget);
+    let result = match ctx.solver.check(&active, budget) {
+        // Countermodels served from the reuse fast path above were
+        // already minimized when first cached, so only freshly found
+        // models go through the heuristic (and get counted).
+        SmtResult::Sat(m) if minimize => {
+            let chk = sys.validity_check(clause, interp);
+            let (m, improved) = minimize_countermodel(&chk, &m);
+            if improved {
+                delta.model_min_improved += 1;
+            } else {
+                delta.model_min_kept += 1;
+            }
+            SmtResult::Sat(m)
+        }
+        r => r,
+    };
     if let SmtResult::Sat(m) = &result {
         debug_assert!(
             sys.validity_check(clause, interp).eval(m),
@@ -825,6 +1030,55 @@ fn param_dirs(f: &Formula, params: &[Var], pred: PredId) -> Vec<(PredId, Vec<Big
             dir.iter().any(|c| !c.is_zero()).then_some((pred, dir))
         })
         .collect()
+}
+
+/// The countermodel-selection heuristic behind
+/// [`SolverConfig::minimize_models`]: greedy coordinate descent
+/// toward zero over cheap `eval` calls. For each variable (in index
+/// order) try zero, the half-way point, and one step toward zero,
+/// keeping the first candidate under which `chk` still evaluates to
+/// true — i.e. the model still witnesses the clause violation. Passes
+/// repeat while any coordinate moves (bounded), so the result is
+/// componentwise minimal up to the candidate grid. Deterministic,
+/// oracle-free, and sound: the returned model satisfies `chk`
+/// whenever the input did.
+fn minimize_countermodel(chk: &Formula, m: &Model) -> (Model, bool) {
+    let mut vars: Vec<Var> = chk.vars().into_iter().collect();
+    vars.sort();
+    let mut cur = m.clone();
+    let mut changed = false;
+    let two = BigInt::from(2);
+    for _ in 0..4 {
+        let mut improved = false;
+        for &v in &vars {
+            let val = cur.value(v);
+            if val.is_zero() {
+                continue;
+            }
+            let half = val.div_rem(&two).0;
+            let step = if val.is_negative() {
+                &val + &BigInt::one()
+            } else {
+                &val - &BigInt::one()
+            };
+            for cand in [BigInt::zero(), half, step] {
+                if cand == val {
+                    continue;
+                }
+                let prev = cur.assign(v, cand);
+                if chk.eval(&cur) {
+                    improved = true;
+                    changed = true;
+                    break;
+                }
+                cur.assign(v, prev.unwrap_or_else(|| val.clone()));
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    (cur, changed)
 }
 
 /// Returns the variable of a single-variable, unit-coefficient,
@@ -925,12 +1179,14 @@ pub struct CegarSolver<'a> {
 impl<'a> CegarSolver<'a> {
     /// Creates a solver for the given system.
     pub fn new(sys: &'a ChcSystem, config: SolverConfig) -> CegarSolver<'a> {
-        let data = sys
+        let mut data: HashMap<PredId, Dataset> = sys
             .preds()
             .iter()
             .map(|p| (p.id, Dataset::new(p.arity())))
             .collect();
         let pool = Pool::new(config.threads.max(1));
+        let mut stats = SolveStats::default();
+        let warm = config.warm_start.clone();
         let mut seeds = SeedStore::new();
         if config.seeding {
             harvest_clause_seeds(sys, &mut seeds);
@@ -942,7 +1198,43 @@ impl<'a> CegarSolver<'a> {
             for (p, atom) in &config.seed_atoms {
                 seeds.add_atom(*p, atom, &sys.pred(*p).params);
             }
+            // Warm-start directions join before pairwise closure so
+            // imported planes combine with the syntactic harvest.
+            if let Some(ws) = &warm {
+                let importable: Vec<(PredId, Vec<BigInt>)> = ws
+                    .seed_dirs
+                    .iter()
+                    .filter(|(p, dir)| {
+                        (p.0 as usize) < sys.num_preds()
+                            && dir.len() == sys.pred(*p).params.len()
+                    })
+                    .cloned()
+                    .collect();
+                stats.warm_seed_dirs = seeds.import_dirs(&importable);
+            }
             seeds.combine_pairs();
+        }
+        let mut contexts = HashMap::new();
+        if let Some(ws) = &warm {
+            for (p, sample) in &ws.negatives {
+                if let Some(d) = data.get_mut(p) {
+                    if d.dim() == sample.len() && d.add_negative(sample.clone()) {
+                        stats.warm_negatives += 1;
+                    }
+                }
+            }
+            if config.oracle == OracleMode::Incremental {
+                for clause in sys.clauses() {
+                    if let Some((_, ctx)) =
+                        ws.contexts.iter().find(|(c, _)| clause_eq_mod_id(c, clause))
+                    {
+                        let mut ctx = ctx.clone();
+                        ctx.solver.set_decision_reset(config.oracle_reset);
+                        contexts.insert(clause.id, ctx);
+                        stats.warm_contexts += 1;
+                    }
+                }
+            }
         }
         CegarSolver {
             sys,
@@ -950,15 +1242,45 @@ impl<'a> CegarSolver<'a> {
             interp: Interpretation::new(),
             data,
             justif: HashMap::new(),
-            contexts: HashMap::new(),
+            contexts,
             pool,
-            stats: SolveStats::default(),
+            stats,
             seeds,
             learn_memo: HashMap::new(),
             phase_oracle_us: 0,
             phase_resolve_us: 0,
             round: 0,
         }
+    }
+
+    /// Captures the warm-start state of this solve (see
+    /// [`SolveSnapshot`]): every persistent clause context paired with
+    /// its origin clause, the negative sample stores, and the seed
+    /// directions. Deterministic — entries are ordered by clause /
+    /// predicate id. Cheap relative to a solve (clones of already-built
+    /// state); call it after [`solve`](Self::solve) returns.
+    pub fn snapshot(&self) -> SolveSnapshot {
+        let mut contexts: Vec<(Clause, ClauseContext)> = self
+            .contexts
+            .iter()
+            .map(|(cid, ctx)| (self.sys.clause(*cid).clone(), ctx.clone()))
+            .collect();
+        contexts.sort_by_key(|(c, _)| c.id);
+        let mut negatives = Vec::new();
+        let mut preds: Vec<PredId> = self.data.keys().copied().collect();
+        preds.sort();
+        for p in &preds {
+            for sample in self.data[p].negatives() {
+                negatives.push((*p, sample.clone()));
+            }
+        }
+        let mut seed_dirs = Vec::new();
+        for p in self.sys.preds() {
+            for plane in self.seeds.planes(p.id) {
+                seed_dirs.push((p.id, plane.dir().to_vec()));
+            }
+        }
+        SolveSnapshot { contexts, negatives, seed_dirs }
     }
 
     /// Statistics of the last [`solve`](Self::solve) run.
@@ -1266,6 +1588,7 @@ impl<'a> CegarSolver<'a> {
         let metrics_on = linarb_trace::metrics::metrics_enabled();
         let profile_on = linarb_trace::profile::profiling_enabled();
         let seeding = self.config.seeding;
+        let minimize = self.config.minimize_models;
         let outcomes = self.pool.parallel_map(inputs, move |(cid, slot)| {
             let clause = sys.clause(cid);
             // Snapshot the context on the worker (clones in parallel)
@@ -1284,8 +1607,8 @@ impl<'a> CegarSolver<'a> {
                 let scope = metrics_on.then(linarb_trace::MetricsScope::new);
                 let pscope = profile_on.then(linarb_trace::ProfileScope::new);
                 let r = oracle_check(
-                    sys, interp, clause, mode, reset, seeding, &mut slot, budget,
-                    &mut delta,
+                    sys, interp, clause, mode, reset, seeding, minimize, &mut slot,
+                    budget, &mut delta,
                 );
                 if let Some(s) = &sink {
                     events = s.take();
@@ -1321,6 +1644,8 @@ impl<'a> CegarSolver<'a> {
         self.stats.smt_checks += delta.smt_checks;
         self.stats.smt_checks_skipped += delta.smt_checks_skipped;
         self.stats.ctx_reuse_hits += delta.ctx_reuse_hits;
+        self.stats.model_min_improved += delta.model_min_improved;
+        self.stats.model_min_kept += delta.model_min_kept;
         for (p, dir, useful) in &delta.core_notes {
             self.seeds.note_core(*p, dir, *useful);
         }
@@ -1374,6 +1699,7 @@ impl<'a> CegarSolver<'a> {
             self.config.oracle,
             self.config.oracle_reset,
             self.config.seeding,
+            self.config.minimize_models,
             &mut slot,
             budget,
             &mut delta,

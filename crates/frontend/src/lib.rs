@@ -26,11 +26,13 @@
 //! ```
 
 mod ast;
+pub mod canon;
 mod interp;
 mod parser;
 mod vcgen;
 
 pub use ast::{CmpOp, Cond, Expr, Function, Program, Stmt};
+pub use canon::{canonicalize, Canon};
 pub use interp::{execute, ExecOutcome, NondetScript};
 pub use parser::{parse_program, ParseError};
 pub use vcgen::{generate_chc, generate_chc_with, VcConfig, VcError};

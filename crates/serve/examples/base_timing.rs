@@ -1,0 +1,40 @@
+//! Manual sizing harness: per-base cold solve cost in the serve
+//! engine, with and without countermodel minimization.
+
+use std::time::{Duration, Instant};
+
+use linarb_serve::engine::{JobInput, ServeConfig, ServeCore, Source};
+
+fn main() {
+    let benches = [
+        linarb_suite::fig1(),
+        linarb_suite::program_a(),
+        linarb_suite::fibo_unsafe(),
+        linarb_suite::even_odd(),
+        linarb_suite::cggmp2005(),
+        linarb_suite::jm2006(),
+        linarb_suite::hhk2008(),
+        linarb_suite::invgen_sum(),
+        linarb_suite::half_counter(),
+        linarb_suite::program_c_fibo(),
+    ];
+    for minimize in [false, true] {
+        println!("== minimize_models = {minimize} ==");
+        let core = ServeCore::new(ServeConfig {
+            cache: false,
+            threads: 1,
+            timeout: Duration::from_secs(30),
+            minimize_models: minimize,
+            ..ServeConfig::default()
+        });
+        for b in &benches {
+            let start = Instant::now();
+            let out = core.submit_batch(vec![JobInput {
+                id: 0,
+                name: b.name.clone(),
+                source: Source::System(b.system.clone()),
+            }]);
+            println!("{:24} {:8} {:>8.3}s", b.name, out[0].verdict, start.elapsed().as_secs_f64());
+        }
+    }
+}

@@ -1,0 +1,17 @@
+//! Manual helper: prints a named suite benchmark as SMT-LIB (used to
+//! regenerate the checked-in `examples/*.smt2` files).
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "fibo_unsafe".into());
+    let all: Vec<linarb_suite::Benchmark> = linarb_suite::paper_examples()
+        .into_iter()
+        .chain(linarb_suite::literature_programs())
+        .collect();
+    match all.iter().find(|b| b.name == name) {
+        Some(b) => print!("{}", b.system.to_smtlib()),
+        None => {
+            eprintln!("unknown benchmark `{name}`");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! Manual sizing harness: pure exact-hit cost per base (submit the
+//! same system 50 times; first is a miss, rest are verified hits).
+
+use std::time::{Duration, Instant};
+
+use linarb_serve::engine::{JobInput, ServeConfig, ServeCore, Source};
+
+fn main() {
+    let benches = [
+        linarb_suite::fig1(),
+        linarb_suite::fibo_unsafe(),
+        linarb_suite::even_odd(),
+        linarb_suite::cggmp2005(),
+        linarb_suite::hhk2008(),
+        linarb_suite::invgen_sum(),
+        linarb_suite::half_counter(),
+        linarb_suite::program_c_fibo(),
+    ];
+    for b in &benches {
+        let core = ServeCore::new(ServeConfig {
+            threads: 1,
+            timeout: Duration::from_secs(30),
+            ..ServeConfig::default()
+        });
+        let mk = |id: u64| JobInput {
+            id,
+            name: b.name.clone(),
+            source: Source::System(b.system.clone()),
+        };
+        let t0 = Instant::now();
+        core.submit_batch(vec![mk(0)]);
+        let miss = t0.elapsed();
+        let t1 = Instant::now();
+        for id in 1..51u64 {
+            let out = core.submit_batch(vec![mk(id)]);
+            assert!(out[0].verified, "{}: hit not verified", b.name);
+        }
+        let hit = t1.elapsed() / 50;
+        println!(
+            "{:24} miss {:>9.3}ms   hit {:>9.3}ms",
+            b.name,
+            miss.as_secs_f64() * 1e3,
+            hit.as_secs_f64() * 1e3
+        );
+    }
+}

@@ -1,0 +1,76 @@
+//! Manual sizing harness: cold cost of the perturb-class variants per
+//! base, and whether a near-tier warm start from the cached base helps.
+
+use std::time::{Duration, Instant};
+
+use linarb_serve::engine::{JobInput, ServeConfig, ServeCore, Source, Tier};
+use linarb_serve::replay::variant;
+
+fn main() {
+    let benches = [
+        linarb_suite::fig1(),
+        linarb_suite::fibo_unsafe(),
+        linarb_suite::even_odd(),
+        linarb_suite::cggmp2005(),
+        linarb_suite::hhk2008(),
+        linarb_suite::invgen_sum(),
+        linarb_suite::half_counter(),
+        linarb_suite::program_c_fibo(),
+        linarb_suite::program_a(),
+        linarb_suite::jm2006(),
+    ];
+    let seed = 0x1abb_5eed_u64;
+    for b in &benches {
+        // Cold side: no cache at all.
+        let cold = ServeCore::new(ServeConfig {
+            threads: 1,
+            cache: false,
+            timeout: Duration::from_secs(10),
+            ..ServeConfig::default()
+        });
+        // Warm side: cache primed with the base solve.
+        let warm = ServeCore::new(ServeConfig {
+            threads: 1,
+            timeout: Duration::from_secs(10),
+            ..ServeConfig::default()
+        });
+        warm.submit_batch(vec![JobInput {
+            id: 0,
+            name: b.name.clone(),
+            source: Source::System(b.system.clone()),
+        }]);
+        let mut cold_tot = Duration::ZERO;
+        let mut warm_tot = Duration::ZERO;
+        let mut tiers = Vec::new();
+        for (k, i) in [0usize, 8, 16, 24].into_iter().enumerate() {
+            let v = variant(&b.system, seed, i);
+            let t = Instant::now();
+            cold.submit_batch(vec![JobInput {
+                id: 100 + k as u64,
+                name: format!("{}@{i}", b.name),
+                source: Source::System(v.clone()),
+            }]);
+            cold_tot += t.elapsed();
+            let t = Instant::now();
+            let out = warm.submit_batch(vec![JobInput {
+                id: 200 + k as u64,
+                name: format!("{}@{i}", b.name),
+                source: Source::System(v),
+            }]);
+            warm_tot += t.elapsed();
+            tiers.push(match out[0].tier {
+                Tier::Exact => "E",
+                Tier::Near => "N",
+                Tier::Miss => "M",
+                Tier::Off => "O",
+            });
+        }
+        println!(
+            "{:24} perturb cold {:>9.1}ms   near-warmed {:>9.1}ms   tiers {}",
+            b.name,
+            cold_tot.as_secs_f64() * 1e3 / 4.0,
+            warm_tot.as_secs_f64() * 1e3 / 4.0,
+            tiers.join("")
+        );
+    }
+}

@@ -1,0 +1,73 @@
+//! A blocking client for the daemon's frame protocol: connect, send
+//! one request frame, read one response frame.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::os::unix::net::UnixStream;
+
+use linarb_trace::frame::{read_frame, write_frame};
+
+use crate::server::BindAddr;
+
+enum Stream {
+    Unix(UnixStream),
+    Tcp(TcpStream),
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Stream::Unix(s) => s.read(buf),
+            Stream::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Stream::Unix(s) => s.write(buf),
+            Stream::Tcp(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Stream::Unix(s) => s.flush(),
+            Stream::Tcp(s) => s.flush(),
+        }
+    }
+}
+
+/// One connection to a serve daemon.
+pub struct Client {
+    stream: Stream,
+}
+
+impl Client {
+    /// Connects to a daemon.
+    ///
+    /// # Errors
+    ///
+    /// Connection failures from the underlying socket.
+    pub fn connect(addr: &BindAddr) -> io::Result<Client> {
+        let stream = match addr {
+            BindAddr::Unix(path) => Stream::Unix(UnixStream::connect(path)?),
+            BindAddr::Tcp(hostport) => Stream::Tcp(TcpStream::connect(hostport.as_str())?),
+        };
+        Ok(Client { stream })
+    }
+
+    /// Sends one request frame and reads the response frame.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, or `UnexpectedEof` if the daemon closes without
+    /// responding.
+    pub fn call(&mut self, request: &str) -> io::Result<String> {
+        write_frame(&mut self.stream, request)?;
+        read_frame(&mut self.stream)?.ok_or_else(|| {
+            io::Error::new(io::ErrorKind::UnexpectedEof, "server closed without responding")
+        })
+    }
+}

@@ -1,0 +1,583 @@
+//! Batch scheduling and solving behind the cache (DESIGN.md §15).
+//!
+//! [`ServeCore`] is the daemon's heart, usable with or without a
+//! socket: jobs are sharded across a [`linarb_pool::Pool`], each
+//! worker runs parse → canonicalize → cache probe → solve-or-verify,
+//! and newly solved entries are inserted *after* the batch in batch
+//! order, so cache contents are a deterministic function of the
+//! submission sequence (never of worker timing).
+//!
+//! Worker solvers run single-threaded (`with_threads(1)`) — the
+//! parallelism budget is spent across jobs, not inside one solve, and
+//! it keeps per-job trajectories identical at every pool width.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use linarb_frontend::{canonicalize, Canon};
+use linarb_logic::{parse_chc, Atom, ChcSystem, PredId, Var};
+use linarb_pool::Pool;
+use linarb_portfolio::{run_engine, Certificate, EngineKind, EngineVerdict};
+use linarb_smt::Budget;
+use linarb_solver::{
+    verify_interpretation, CegarSolver, OracleMode, SolveResult, SolveSnapshot, SolverConfig,
+};
+use linarb_trace::json_string;
+
+use crate::cache::{self, CacheEntry, InvariantCache, WarmStart};
+use crate::proto::JobSpec;
+
+/// Configuration of a [`ServeCore`].
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Pool width for batch sharding (jobs in flight at once).
+    pub threads: usize,
+    /// Per-job wall-clock budget.
+    pub timeout: Duration,
+    /// Master cache switch (`false` = every job solves cold; the
+    /// replay driver's baseline mode).
+    pub cache: bool,
+    /// Maximum number of cache entries (FIFO eviction beyond).
+    pub cache_cap: usize,
+    /// Near-miss tier switch.
+    pub near: bool,
+    /// Minimum fingerprint-overlap fraction for a near-tier donor.
+    pub near_min_frac: f64,
+    /// `None` solves with the in-crate CEGAR engine (which can donate
+    /// and consume warm-start snapshots); `Some(kind)` dispatches
+    /// through the portfolio's [`run_engine`] instead.
+    pub engine: Option<EngineKind>,
+    /// Countermodel minimization knob forwarded to the CEGAR engine.
+    pub minimize_models: bool,
+    /// BMC unroll cap forwarded to portfolio engines.
+    pub bmc_max_depth: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        let threads = std::env::var("LINARB_THREADS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(8)
+            });
+        ServeConfig {
+            threads,
+            timeout: Duration::from_secs(30),
+            cache: true,
+            cache_cap: 4096,
+            near: true,
+            near_min_frac: 0.5,
+            engine: None,
+            minimize_models: false,
+            bmc_max_depth: 256,
+        }
+    }
+}
+
+/// What a job solves: program text in a supported format, or an
+/// already-built system (in-process callers like the replay driver).
+pub enum Source {
+    /// SMT-LIB2 Horn text.
+    Smt2(String),
+    /// Mini-C text for the frontend compiler.
+    MiniC(String),
+    /// A pre-built system.
+    System(ChcSystem),
+}
+
+/// One scheduled job.
+pub struct JobInput {
+    /// Echoed back in the outcome.
+    pub id: u64,
+    /// Display name.
+    pub name: String,
+    /// The program.
+    pub source: Source,
+}
+
+impl JobInput {
+    /// Converts a wire-level [`JobSpec`] into a schedulable job.
+    pub fn from_spec(spec: JobSpec) -> JobInput {
+        let source = match spec.format.as_str() {
+            "c" => Source::MiniC(spec.program),
+            _ => Source::Smt2(spec.program),
+        };
+        JobInput { id: spec.id, name: spec.name, source }
+    }
+}
+
+/// Which cache tier answered a job.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Tier {
+    /// Memoized verdict served after re-verification.
+    Exact,
+    /// Fresh solve warm-started from the closest neighbor.
+    Near,
+    /// Fresh cold solve (no usable neighbor).
+    Miss,
+    /// Cache disabled.
+    Off,
+}
+
+impl Tier {
+    /// Wire label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Tier::Exact => "exact",
+            Tier::Near => "near",
+            Tier::Miss => "miss",
+            Tier::Off => "off",
+        }
+    }
+}
+
+/// The result of one job.
+#[derive(Clone, Debug)]
+pub struct JobOutcome {
+    /// Echo of [`JobInput::id`].
+    pub id: u64,
+    /// Echo of [`JobInput::name`].
+    pub name: String,
+    /// `"sat"`, `"unsat"`, `"unknown"`, or `"error"`.
+    pub verdict: String,
+    /// Which tier answered.
+    pub tier: Tier,
+    /// Whether the verdict passed an independent check
+    /// (interpretation verification / derivation replay). Always true
+    /// for served exact hits; best-effort for fresh solves (fresh Sat
+    /// results are already oracle-validated by construction).
+    pub verified: bool,
+    /// Wall time of the job inside its worker.
+    pub wall_us: u64,
+    /// Unknown reason or parse/compile error text (empty otherwise).
+    pub detail: String,
+}
+
+impl JobOutcome {
+    /// Renders the response object for the wire.
+    pub fn render(&self) -> String {
+        let mut s = format!(
+            "{{\"id\":{},\"name\":{},\"verdict\":{},\"cache\":{},\"verified\":{},\"wall_us\":{}",
+            self.id,
+            json_string(&self.name),
+            json_string(&self.verdict),
+            json_string(self.tier.label()),
+            self.verified,
+            self.wall_us
+        );
+        if !self.detail.is_empty() {
+            s.push_str(&format!(",\"detail\":{}", json_string(&self.detail)));
+        }
+        s.push('}');
+        s
+    }
+
+    fn error(id: u64, name: &str, tier: Tier, detail: String, start: Instant) -> JobOutcome {
+        JobOutcome {
+            id,
+            name: name.to_string(),
+            verdict: "error".to_string(),
+            tier,
+            verified: false,
+            wall_us: start.elapsed().as_micros() as u64,
+            detail,
+        }
+    }
+}
+
+/// Scheduler and cache counters, exported by the daemon's `stats` op
+/// and the replay driver.
+#[derive(Clone, Debug, Default)]
+pub struct ServeStats {
+    /// Jobs completed.
+    pub jobs: u64,
+    /// Exact-tier hits served.
+    pub exact_hits: u64,
+    /// Near-tier warm starts.
+    pub near_hits: u64,
+    /// Cold solves (cache enabled, no usable neighbor).
+    pub misses: u64,
+    /// Exact-tier candidates that failed re-verification (served as
+    /// fresh solves instead).
+    pub verify_failures: u64,
+    /// Jobs that failed to parse/compile.
+    pub errors: u64,
+    /// Verdict counts.
+    pub sat: u64,
+    /// See [`ServeStats::sat`].
+    pub unsat: u64,
+    /// See [`ServeStats::sat`].
+    pub unknown: u64,
+}
+
+impl ServeStats {
+    /// Renders the counters as a JSON object body (no `op` field).
+    pub fn render(&self, cache_entries: usize) -> String {
+        format!(
+            "{{\"jobs\":{},\"exact_hits\":{},\"near_hits\":{},\"misses\":{},\
+             \"verify_failures\":{},\"errors\":{},\"sat\":{},\"unsat\":{},\
+             \"unknown\":{},\"cache_entries\":{}}}",
+            self.jobs,
+            self.exact_hits,
+            self.near_hits,
+            self.misses,
+            self.verify_failures,
+            self.errors,
+            self.sat,
+            self.unsat,
+            self.unknown,
+            cache_entries
+        )
+    }
+}
+
+/// The resident solver: pool, cache, counters.
+pub struct ServeCore {
+    cfg: ServeConfig,
+    pool: Pool,
+    cache: Mutex<InvariantCache>,
+    stats: Mutex<ServeStats>,
+}
+
+impl ServeCore {
+    /// Builds a core with its worker pool.
+    pub fn new(cfg: ServeConfig) -> ServeCore {
+        let pool = Pool::new(cfg.threads);
+        let cache = Mutex::new(InvariantCache::new(cfg.cache_cap));
+        ServeCore { cfg, pool, cache, stats: Mutex::new(ServeStats::default()) }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.cfg
+    }
+
+    /// Snapshot of the counters.
+    pub fn stats(&self) -> ServeStats {
+        self.stats.lock().unwrap().clone()
+    }
+
+    /// Number of live cache entries.
+    pub fn cache_len(&self) -> usize {
+        self.cache.lock().unwrap().len()
+    }
+
+    /// Solves a batch in three deterministic waves:
+    ///
+    /// 1. **Prepare** (parallel): parse/compile and canonicalize every
+    ///    job.
+    /// 2. **Leaders** (parallel): for each canonical form not already
+    ///    cached, its *first* job in submission order solves it; the
+    ///    results are memoized in submission order.
+    /// 3. **Followers** (parallel): the remaining jobs run with the
+    ///    leaders' entries visible, so intra-batch duplicates hit the
+    ///    exact tier instead of solving the same system N times.
+    ///
+    /// Results come back in submission order, and cache contents are a
+    /// function of the submission sequence alone — never of worker
+    /// timing or pool width.
+    pub fn submit_batch(&self, jobs: Vec<JobInput>) -> Vec<JobOutcome> {
+        let n = jobs.len();
+        let prepared = self.pool.parallel_map(jobs, |job| self.prepare(job));
+
+        let mut slots: Vec<Option<JobOutcome>> = (0..n).map(|_| None).collect();
+        let mut leaders: Vec<(usize, Prepared)> = Vec::new();
+        let mut followers: Vec<(usize, Prepared)> = Vec::new();
+        {
+            let cache = self.cache.lock().unwrap();
+            let mut batch_forms: std::collections::HashSet<String> = std::collections::HashSet::new();
+            for (idx, prep) in prepared.into_iter().enumerate() {
+                match prep {
+                    Prep::Failed(outcome) => {
+                        let mut stats = self.stats.lock().unwrap();
+                        stats.jobs += 1;
+                        stats.errors += 1;
+                        drop(stats);
+                        slots[idx] = Some(outcome);
+                    }
+                    Prep::Ready(p) => {
+                        let already = self.cfg.cache
+                            && (cache.exact(&p.canon).is_some()
+                                || !batch_forms.insert(p.canon.text.clone()));
+                        if already {
+                            followers.push((idx, p));
+                        } else {
+                            leaders.push((idx, p));
+                        }
+                    }
+                }
+            }
+        }
+
+        let solved =
+            self.pool.parallel_map(leaders, |(idx, p)| (idx, self.solve_prepared(p)));
+        self.settle(solved, &mut slots);
+        let solved =
+            self.pool.parallel_map(followers, |(idx, p)| (idx, self.solve_prepared(p)));
+        self.settle(solved, &mut slots);
+
+        slots.into_iter().map(|s| s.expect("every slot filled")).collect()
+    }
+
+    /// Sequential accounting for one wave: counters, cache insertion
+    /// (in submission order), and result slotting.
+    fn settle(
+        &self,
+        solved: Vec<(usize, (JobOutcome, Option<FreshSolve>))>,
+        slots: &mut [Option<JobOutcome>],
+    ) {
+        let mut stats = self.stats.lock().unwrap();
+        let mut cache = self.cache.lock().unwrap();
+        for (idx, (outcome, fresh)) in solved {
+            stats.jobs += 1;
+            match outcome.verdict.as_str() {
+                "sat" => stats.sat += 1,
+                "unsat" => stats.unsat += 1,
+                "unknown" => stats.unknown += 1,
+                _ => stats.errors += 1,
+            }
+            match outcome.tier {
+                Tier::Exact => stats.exact_hits += 1,
+                Tier::Near => stats.near_hits += 1,
+                Tier::Miss => stats.misses += 1,
+                Tier::Off => {}
+            }
+            stats.verify_failures += fresh.as_ref().map_or(0, |f| f.verify_failed as u64);
+            if let Some(f) = fresh {
+                if let Some((key, entry)) = f.entry {
+                    cache.insert(key, entry);
+                }
+            }
+            slots[idx] = Some(outcome);
+        }
+    }
+
+    /// Wave 1: parse/compile and canonicalize.
+    fn prepare(&self, job: JobInput) -> Prep {
+        let start = Instant::now();
+        let sys = match job.source {
+            Source::System(sys) => sys,
+            Source::Smt2(text) => match parse_chc(&text) {
+                Ok(sys) => sys,
+                Err(e) => {
+                    return Prep::Failed(JobOutcome::error(
+                        job.id,
+                        &job.name,
+                        Tier::Off,
+                        e.to_string(),
+                        start,
+                    ))
+                }
+            },
+            Source::MiniC(text) => match linarb_frontend::compile(&text) {
+                Ok(sys) => sys,
+                Err(e) => {
+                    return Prep::Failed(JobOutcome::error(
+                        job.id,
+                        &job.name,
+                        Tier::Off,
+                        e.to_string(),
+                        start,
+                    ))
+                }
+            },
+        };
+        let canon = canonicalize(&sys);
+        Prep::Ready(Prepared { id: job.id, name: job.name, sys, canon, start })
+    }
+
+    /// Waves 2–3: cache probe, then solve or serve.
+    fn solve_prepared(&self, p: Prepared) -> (JobOutcome, Option<FreshSolve>) {
+        let Prepared { id, name, sys, canon, start } = p;
+        let budget = Budget::timeout(self.cfg.timeout);
+        let mut verify_failed = false;
+
+        // Exact tier: serve the memoized verdict iff it independently
+        // re-verifies against *this* submission.
+        if self.cfg.cache {
+            let hit = self.cache.lock().unwrap().exact(&canon);
+            if let Some(entry) = hit {
+                if let Some(result) = cache::restore_verdict(&canon, &sys, &entry.verdict) {
+                    let ok = match &result {
+                        SolveResult::Sat(interp) => {
+                            verify_interpretation(&sys, interp, &budget) == Some(true)
+                        }
+                        SolveResult::Unsat(tree) => tree.replay(&sys),
+                        SolveResult::Unknown(_) => false,
+                    };
+                    if ok {
+                        let outcome = JobOutcome {
+                            id,
+                            name,
+                            verdict: verdict_label(&result).to_string(),
+                            tier: Tier::Exact,
+                            verified: true,
+                            wall_us: start.elapsed().as_micros() as u64,
+                            detail: String::new(),
+                        };
+                        return (outcome, None);
+                    }
+                }
+                verify_failed = true;
+            }
+        }
+
+        // Near tier: translate the best neighbor's solver state into
+        // this system's predicate space and warm-start the solve.
+        let mut warm: Option<Arc<SolveSnapshot>> = None;
+        let mut seed_atoms: Vec<(PredId, Atom)> = Vec::new();
+        let mut tier = if self.cfg.cache { Tier::Miss } else { Tier::Off };
+        if self.cfg.cache && self.cfg.near {
+            let near = self.cache.lock().unwrap().nearest(&canon, self.cfg.near_min_frac);
+            if let Some(entry) = near {
+                let mut pred_map: HashMap<PredId, PredId> = HashMap::new();
+                for (ci, producer) in entry.pred_of_canon.iter().enumerate() {
+                    if let Some(consumer) = canon.pred_of_canon.get(ci) {
+                        pred_map.insert(*producer, *consumer);
+                    }
+                }
+                let snap = entry.warm.snapshot.remap_preds(&pred_map);
+                if !snap.is_empty() {
+                    warm = Some(Arc::new(snap));
+                }
+                for (ci, atom) in &entry.warm.atoms {
+                    if let Some(pid) = canon.pred_of_canon.get(*ci) {
+                        let params = &sys.pred(*pid).params;
+                        let map: HashMap<Var, Var> = params
+                            .iter()
+                            .enumerate()
+                            .map(|(j, v)| (Var::from_index(j as u32), *v))
+                            .collect();
+                        seed_atoms.push((*pid, atom.rename(&map)));
+                    }
+                }
+                if warm.is_some() || !seed_atoms.is_empty() {
+                    tier = Tier::Near;
+                }
+            }
+        }
+
+        let (result, snapshot, detail) = self.run_solver(&sys, warm, seed_atoms, &budget);
+
+        // Memoize definite verdicts (in canonical coordinates).
+        let entry = if self.cfg.cache {
+            cache::cache_verdict(&canon, &sys, &result).map(|cv| {
+                let atoms = cache::invariant_atoms(&cv);
+                let entry = CacheEntry {
+                    name: name.clone(),
+                    text: canon.text.clone(),
+                    fingerprint: canon.fingerprint.clone(),
+                    arities: canon.arities.clone(),
+                    verdict: cv,
+                    pred_of_canon: canon.pred_of_canon.clone(),
+                    warm: WarmStart { snapshot: snapshot.unwrap_or_default(), atoms },
+                };
+                (canon.key.clone(), entry)
+            })
+        } else {
+            None
+        };
+
+        let outcome = JobOutcome {
+            id,
+            name,
+            verdict: verdict_label(&result).to_string(),
+            tier,
+            verified: false,
+            wall_us: start.elapsed().as_micros() as u64,
+            detail,
+        };
+        (outcome, Some(FreshSolve { entry, verify_failed }))
+    }
+
+    fn run_solver(
+        &self,
+        sys: &ChcSystem,
+        warm: Option<Arc<SolveSnapshot>>,
+        seed_atoms: Vec<(PredId, Atom)>,
+        budget: &Budget,
+    ) -> (SolveResult, Option<SolveSnapshot>, String) {
+        match self.cfg.engine {
+            None | Some(EngineKind::Cegar) => {
+                let mut config = SolverConfig::default()
+                    .with_oracle(OracleMode::Incremental)
+                    .with_threads(1)
+                    .with_minimize_models(self.cfg.minimize_models)
+                    .with_seed_atoms(seed_atoms);
+                if let Some(ws) = warm {
+                    config = config.with_warm_start(ws);
+                }
+                let mut solver = CegarSolver::new(sys, config);
+                let result = solver.solve(budget);
+                let snapshot = match &result {
+                    SolveResult::Unknown(_) => None,
+                    _ => Some(solver.snapshot()),
+                };
+                let detail = match &result {
+                    SolveResult::Unknown(reason) => format!("{reason:?}"),
+                    _ => String::new(),
+                };
+                (result, snapshot, detail)
+            }
+            Some(kind) => {
+                let verdict = run_engine(kind, sys, budget, None, self.cfg.bmc_max_depth);
+                match verdict {
+                    EngineVerdict::Sat(Certificate::Invariant(interp)) => {
+                        (SolveResult::Sat(interp), None, String::new())
+                    }
+                    EngineVerdict::Unsat(Certificate::Derivation(tree)) => {
+                        (SolveResult::Unsat(tree), None, String::new())
+                    }
+                    EngineVerdict::Unknown(reason) => (
+                        SolveResult::Unknown(linarb_solver::UnknownReason::SmtUnknown),
+                        None,
+                        reason,
+                    ),
+                    // Engines never cross certificate kinds; treat a
+                    // mismatch as unknown rather than trusting it.
+                    _ => (
+                        SolveResult::Unknown(linarb_solver::UnknownReason::SmtUnknown),
+                        None,
+                        "certificate kind mismatch".to_string(),
+                    ),
+                }
+            }
+        }
+    }
+}
+
+/// Byproducts of a fresh (non-exact-hit) solve.
+struct FreshSolve {
+    entry: Option<(String, CacheEntry)>,
+    verify_failed: bool,
+}
+
+/// A parsed, canonicalized job awaiting its solve wave.
+struct Prepared {
+    id: u64,
+    name: String,
+    sys: ChcSystem,
+    canon: Canon,
+    start: Instant,
+}
+
+/// Wave-1 result: ready to solve, or failed to parse.
+enum Prep {
+    Ready(Prepared),
+    Failed(JobOutcome),
+}
+
+fn verdict_label(r: &SolveResult) -> &'static str {
+    match r {
+        SolveResult::Sat(_) => "sat",
+        SolveResult::Unsat(_) => "unsat",
+        SolveResult::Unknown(_) => "unknown",
+    }
+}
+
+// `Canon` appears in this module's docs.
+#[doc(hidden)]
+pub type _CanonRef = Canon;

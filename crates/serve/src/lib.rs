@@ -1,0 +1,45 @@
+//! Solver-as-a-service: a persistent daemon with structural invariant
+//! caching and batch scheduling (DESIGN.md §15).
+//!
+//! Verification workloads are repetitive: CI re-submits the same CHC
+//! systems on every push, and small program edits yield systems that
+//! are *structurally* near-identical to ones already solved. A
+//! one-shot CLI pays full price every time. This crate keeps the
+//! solver resident and exploits that repetition with a two-tier
+//! persistent cache keyed on canonical CHC forms
+//! ([`linarb_frontend::canonicalize`]):
+//!
+//! * **Exact tier.** Systems whose canonical *text* matches a cached
+//!   entry get the memoized verdict back after a cheap independent
+//!   re-check ([`linarb_solver::verify_interpretation`] for SAT,
+//!   [`linarb_solver::DerivationNode::replay`] for UNSAT). A served
+//!   hit is therefore never trusted blindly — staleness or a
+//!   canonicalization bug costs a cache miss, not soundness.
+//! * **Near tier.** Systems with no exact hit are matched to the
+//!   closest cached neighbor by structural fingerprint overlap, and
+//!   the neighbor's solver state — seed directions, learner
+//!   negatives, per-clause incremental contexts
+//!   ([`linarb_solver::SolveSnapshot`]) and invariant atoms — warm
+//!   starts the fresh solve.
+//!
+//! The daemon ([`server`]) speaks length-prefixed JSON frames
+//! ([`linarb_trace::frame`]) over a Unix or TCP socket; batches are
+//! sharded across a [`linarb_pool::Pool`] by [`engine::ServeCore`],
+//! which is also usable in-process (the replay bench driver and the
+//! CI smoke test drive it without a socket). [`replay`] generates
+//! thousands of mutated variants of base systems to measure cache
+//! effectiveness: throughput, hit rates, and latency percentiles.
+
+pub mod cache;
+pub mod cli;
+pub mod client;
+pub mod engine;
+pub mod proto;
+pub mod replay;
+pub mod server;
+
+pub use cache::{CacheEntry, CachedVerdict, InvariantCache};
+pub use engine::{JobInput, JobOutcome, ServeConfig, ServeCore, ServeStats, Source};
+pub use proto::{parse_request, JobSpec, Request};
+pub use replay::{run_replay, ReplayConfig, ReplayOutcome};
+pub use server::{parse_addr, serve, BindAddr};

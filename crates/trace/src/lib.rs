@@ -46,6 +46,7 @@
 
 pub mod alloc;
 mod event;
+pub mod frame;
 pub mod json;
 pub mod metrics;
 pub mod profile;

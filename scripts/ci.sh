@@ -81,6 +81,55 @@ out="$(LINARB_PORTFOLIO_FORCE=cegar cargo run --release --offline -p linarb --bi
     --engine portfolio --timeout-ms 60000 examples/fig1.smt2)"
 [ "$out" = "sat" ] || { echo "portfolio CLI: forced cegar on fig1 got '$out'" >&2; exit 1; }
 
+echo "== serve smoke (daemon + batch over a unix socket) =="
+# End-to-end through the daemon: start `linarb serve`, submit a batch
+# of example programs over the socket, and require (a) the verdicts to
+# match the single-shot CLI on the same files, (b) a repeated
+# submission to be a verified exact cache hit. The daemon handles
+# connections sequentially and the cache is a pure function of the
+# submission sequence, so this is deterministic.
+serve_sock="$(mktemp -u /tmp/linarb_serve_ci.XXXXXX.sock)"
+serve_log="$(mktemp /tmp/linarb_serve_ci.XXXXXX.log)"
+cargo run --release --offline -p linarb --bin linarb -- \
+    serve --addr "unix:$serve_sock" --timeout-ms 60000 >"$serve_log" 2>&1 &
+serve_pid=$!
+trap 'kill "$serve_pid" 2>/dev/null || true' EXIT
+for _ in $(seq 1 100); do
+    [ -S "$serve_sock" ] && break
+    sleep 0.1
+done
+[ -S "$serve_sock" ] || { echo "serve smoke: daemon never bound $serve_sock" >&2; exit 1; }
+for f in examples/fig1.smt2 examples/fibo_unsafe.smt2; do
+    single="$(cargo run --release --offline -p linarb --bin linarb -- "$f")"
+    served="$(cargo run --release --offline -p linarb --bin linarb -- \
+        client --addr "unix:$serve_sock" "$f")"
+    got="$(echo "$served" | awk '{print $2}')"
+    [ "$got" = "$single" ] \
+        || { echo "serve smoke: $f served '$got' vs single-shot '$single'" >&2; exit 1; }
+done
+# Second submission of the same file: must be served from the exact
+# tier, re-verified before delivery.
+repeat="$(cargo run --release --offline -p linarb --bin linarb -- \
+    client --addr "unix:$serve_sock" examples/fig1.smt2)"
+echo "$repeat" | grep -q 'cache=exact' \
+    || { echo "serve smoke: repeat submission missed the cache: $repeat" >&2; exit 1; }
+echo "$repeat" | grep -q 'verified=true' \
+    || { echo "serve smoke: exact hit served unverified: $repeat" >&2; exit 1; }
+cargo run --release --offline -p linarb --bin linarb -- \
+    client --addr "unix:$serve_sock" --op shutdown >/dev/null
+wait "$serve_pid"
+trap - EXIT
+rm -f "$serve_log"
+
+echo "== cache-key determinism gate (1 and 4 threads) =="
+# The canonicalization property tests (rename/reorder/scale variants
+# of every named suite program share a key; perturbed constants never
+# collide) must hold verbatim at both thread counts — the cache key
+# may not depend on scheduling. Repeated here by name so a filtered CI
+# invocation cannot skip it silently.
+LINARB_THREADS=1 cargo test -q --offline -p linarb-frontend --test canon_props
+LINARB_THREADS=4 cargo test -q --offline -p linarb-frontend --test canon_props
+
 echo "== trace smoke (structured JSONL trace of one benchmark) =="
 # Solve a benchmark with tracing on, then validate that the emitted
 # trace is non-empty, well-formed JSONL containing spans from every
@@ -152,7 +201,11 @@ compare_args=()
 if [ -n "$baseline" ]; then
     compare_args=(--compare "$baseline")
 fi
+# CI trims the serve replay to 25 variants/base (the checked-in BENCH
+# reports use the full 125, i.e. 1000 mutants; the serve section is
+# informational to --compare either way).
 LINARB_SMOKE_TIMEOUT_MS="${LINARB_SMOKE_TIMEOUT_MS:-30000}" \
+LINARB_SMOKE_REPLAY_VARIANTS="${LINARB_SMOKE_REPLAY_VARIANTS:-25}" \
 LINARB_SMOKE_BASELINE="${LINARB_SMOKE_BASELINE:-$baseline}" \
     cargo run --release --offline -p linarb-bench --bin perf_smoke -- \
     "${compare_args[@]}"

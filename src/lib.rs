@@ -23,6 +23,7 @@
 //! | [`frontend`] | `linarb-frontend` | mini-C → CHC |
 //! | [`baselines`] | `linarb-baselines` | BMC, GPDR/Spacer, Duality/UAutomizer, PIE, DIG |
 //! | [`portfolio`] | `linarb-portfolio` | races all engines, first checkable certificate wins |
+//! | [`serve`] | `linarb-serve` | persistent daemon, invariant cache, batch scheduling |
 //! | [`suite`] | `linarb-suite` | the benchmark corpus |
 //!
 //! # Quickstart
@@ -54,6 +55,7 @@ pub use linarb_ml as ml;
 pub use linarb_pool as pool;
 pub use linarb_portfolio as portfolio;
 pub use linarb_sat as sat;
+pub use linarb_serve as serve;
 pub use linarb_smt as smt;
 pub use linarb_solver as solver;
 pub use linarb_suite as suite;

@@ -15,6 +15,8 @@ use std::time::Duration;
 
 const USAGE: &str = "\
 usage: linarb [options] <file.smt2|file.c>
+       linarb serve [options]     run the solver daemon (see serve --help)
+       linarb client [options]    talk to a running daemon
 
 options:
   --trace <off|info|debug|trace>  stderr trace verbosity (default off;
@@ -204,6 +206,17 @@ fn load_system(path: &str) -> Result<linarb::logic::ChcSystem, String> {
 }
 
 fn main() -> ExitCode {
+    // Subcommand dispatch: `linarb serve …` / `linarb client …` run
+    // the daemon paths; anything else is the classic one-shot CLI.
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match argv.first().map(String::as_str) {
+        Some("serve") => return ExitCode::from(linarb::serve::cli::serve_main(&argv[1..]) as u8),
+        Some("client") => {
+            return ExitCode::from(linarb::serve::cli::client_main(&argv[1..]) as u8)
+        }
+        _ => {}
+    }
+
     let cli = match parse_args() {
         Ok(cli) => cli,
         Err(msg) => {
